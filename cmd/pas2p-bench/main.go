@@ -1,0 +1,81 @@
+// Command pas2p-bench regenerates the paper's evaluation tables on the
+// modelled clusters. Each -table flag value runs the corresponding
+// experiment set end to end (instrument -> model -> phases ->
+// signature -> predict -> validate) and prints rows with the paper's
+// columns; -table all regenerates everything, which is what
+// EXPERIMENTS.md records.
+//
+// Absolute numbers come from this repository's simulated substrate, so
+// they are compared with the paper by *shape* (who wins, rough
+// factors, orderings), not by matching seconds.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"pas2p/internal/report"
+	"pas2p/internal/vtime"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 2, 3, 5, 7, 8, 9, D, E or all")
+	scale := flag.Int("scale", 1, "divide process counts by this factor (1 = paper scale)")
+	overhead := flag.Duration("overhead", 8*time.Microsecond, "per-event instrumentation overhead")
+	flag.Parse()
+
+	opts := report.Options{
+		ProcScale:     *scale,
+		EventOverhead: vtime.FromSeconds(overhead.Seconds()),
+	}
+	w := os.Stdout
+	start := time.Now()
+
+	run := func(name string, f func() error) {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "pas2p-bench: table %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "[table %s regenerated in %v]\n\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	want := func(n string) bool { return *table == "all" || *table == n }
+
+	if want("2") {
+		run("2", func() error { report.Table2(w); fmt.Fprintln(w); return nil })
+	}
+	if want("3") {
+		run("3", func() error { _, err := report.Table3(w, opts); return err })
+	}
+	if want("5") {
+		run("5", func() error { _, err := report.Table5(w, opts); return err })
+	}
+	if want("7") {
+		run("7", func() error { _, err := report.Table7(w, opts); return err })
+	}
+	if want("d") || want("D") {
+		run("D", func() error { _, err := report.AppendixD(w, opts); return err })
+	}
+	if want("e") || want("E") {
+		run("E", func() error { _, err := report.AppendixE(w, opts); return err })
+	}
+	if want("8") || want("9") {
+		run("8+9", func() error {
+			rows, err := report.RunPerf(opts)
+			if err != nil {
+				return err
+			}
+			if want("8") {
+				report.Table8(w, rows)
+			}
+			if want("9") {
+				report.Table9(w, rows)
+			}
+			return nil
+		})
+	}
+	fmt.Fprintf(w, "[pas2p-bench completed in %v]\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,318 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pas2p/internal/apps"
+	"pas2p/internal/logical"
+	"pas2p/internal/machine"
+	"pas2p/internal/mpi"
+	"pas2p/internal/phase"
+	"pas2p/internal/predict"
+	"pas2p/internal/report"
+	"pas2p/internal/trace"
+	"pas2p/internal/vtime"
+)
+
+func cmdApps(args []string) error {
+	fs := flag.NewFlagSet("apps", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %-18s %s\n", "APP", "DEFAULT WORKLOAD", "WORKLOADS")
+	for _, n := range apps.Names() {
+		s := apps.Lookup(n)
+		fmt.Printf("%-14s %-18s %s\n", n, s.DefaultWorkload, strings.Join(s.Workloads, ", "))
+	}
+	return nil
+}
+
+func cmdClusters(args []string) error {
+	fs := flag.NewFlagSet("clusters", flag.ExitOnError)
+	export := fs.String("export", "", "write the named preset as JSON to stdout (template for custom clusters)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *export != "" {
+		cl := machine.ByName(*export)
+		if cl == nil {
+			return fmt.Errorf("unknown cluster %q", *export)
+		}
+		return machine.SaveCluster(os.Stdout, cl)
+	}
+	report.Table2(os.Stdout)
+	return nil
+}
+
+// deployFor resolves -cluster/-cores into a deployment for n ranks. A
+// cluster name starting with '@' loads a custom JSON model instead of
+// a Table 2 preset (derive one with 'pas2p clusters -export A').
+func deployFor(clusterName string, cores, ranks int) (*machine.Deployment, error) {
+	var cl *machine.Cluster
+	if strings.HasPrefix(clusterName, "@") {
+		f, err := os.Open(strings.TrimPrefix(clusterName, "@"))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		cl, err = machine.LoadCluster(f)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		cl = machine.ByName(clusterName)
+	}
+	if cl == nil {
+		return nil, fmt.Errorf("unknown cluster %q (use A, B, C, D or @file.json)", clusterName)
+	}
+	if cores > 0 {
+		nodes := (cores + cl.CoresPerNode - 1) / cl.CoresPerNode
+		if nodes < 1 {
+			nodes = 1
+		}
+		cl.Nodes = nodes
+	}
+	return machine.NewDeployment(cl, ranks, machine.MapBlock)
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	app := fs.String("app", "", "application name (see 'pas2p apps')")
+	procs := fs.Int("procs", 64, "number of processes")
+	workload := fs.String("workload", "", "workload name (default: app's default)")
+	cluster := fs.String("cluster", "A", "base cluster (A..D)")
+	out := fs.String("o", "", "output tracefile (default <app>.pas2p)")
+	asJSON := fs.Bool("json", false, "write JSON instead of the binary format")
+	compress := fs.Bool("z", false, "write the compressed tracefile format")
+	overhead := fs.Duration("overhead", 0, "per-event instrumentation overhead (virtual), e.g. 8us")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("trace: -app is required")
+	}
+	a, err := apps.Make(*app, *procs, *workload)
+	if err != nil {
+		return err
+	}
+	d, err := deployFor(*cluster, 0, *procs)
+	if err != nil {
+		return err
+	}
+	res, err := mpi.Run(a, mpi.RunConfig{
+		Deployment: d, Trace: true,
+		EventOverhead: vtime.FromSeconds(overhead.Seconds()),
+	})
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = *app + ".pas2p"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch {
+	case *asJSON:
+		err = trace.EncodeJSON(f, res.Trace)
+	case *compress:
+		err = trace.Compress(f, res.Trace)
+	default:
+		err = trace.Encode(f, res.Trace)
+	}
+	if err != nil {
+		return err
+	}
+	st := res.Trace.Stats()
+	fmt.Printf("traced %s on %s: %d events (%d sends, %d recvs, %d collectives)\n",
+		*app, d, st.Events, st.Sends, st.Recvs, st.Collectives)
+	fmt.Printf("virtual AET (instrumented): %.2fs\n", res.Elapsed.Seconds())
+	fmt.Printf("tracefile: %s (%d bytes)\n", path, trace.EncodedSize(res.Trace))
+	return nil
+}
+
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("trace", "", "input tracefile")
+	out := fs.String("o", "", "write the phase table as JSON to this path")
+	warm := fs.Int("warm", 1, "occurrence designated for checkpointing")
+	explain := fs.Bool("explain", false, "narrate the extraction algorithm's steps (paper Fig. 6)")
+	eventSim := fs.Float64("event-similarity", 0.80, "fraction of similar events required")
+	compSim := fs.Float64("compute-similarity", 0.85, "compute-time similarity ratio")
+	relevance := fs.Float64("relevance", 0.01, "relevant-phase AET fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("analyze: -trace is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.DecodeAny(f)
+	if err != nil {
+		return err
+	}
+	l, err := logical.Order(tr)
+	if err != nil {
+		return err
+	}
+	cfg := phase.DefaultConfig()
+	cfg.EventSimilarity = *eventSim
+	cfg.ComputeSimilarity = *compSim
+	cfg.RelevanceFraction = *relevance
+	var logf func(string, ...any)
+	if *explain {
+		logf = func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		}
+	}
+	an, err := phase.ExtractWithLog(l, cfg, logf)
+	if err != nil {
+		return err
+	}
+	tb, err := an.BuildTable(*warm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application: %s, %d processes, %d events, %d ticks\n",
+		tr.AppName, tr.Procs, len(tr.Events), l.NumTicks())
+	fmt.Println(an.Summary())
+	tb.Print(os.Stdout)
+	if *out != "" {
+		g, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		enc := json.NewEncoder(g)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(tb); err != nil {
+			return err
+		}
+		fmt.Printf("phase table written to %s\n", *out)
+	}
+	return nil
+}
+
+func cmdAET(args []string) error {
+	fs := flag.NewFlagSet("aet", flag.ExitOnError)
+	app := fs.String("app", "", "application name")
+	procs := fs.Int("procs", 64, "number of processes")
+	workload := fs.String("workload", "", "workload name")
+	cluster := fs.String("cluster", "A", "cluster (A..D)")
+	cores := fs.Int("cores", 0, "restrict the cluster to this many cores")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("aet: -app is required")
+	}
+	a, err := apps.Make(*app, *procs, *workload)
+	if err != nil {
+		return err
+	}
+	d, err := deployFor(*cluster, *cores, *procs)
+	if err != nil {
+		return err
+	}
+	res, err := mpi.Run(a, mpi.RunConfig{Deployment: d})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s on %s\n", *app, d)
+	fmt.Printf("AET: %.2fs (virtual)\n", res.Elapsed.Seconds())
+	return nil
+}
+
+func cmdPredict(args []string) error {
+	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	app := fs.String("app", "", "application name")
+	procs := fs.Int("procs", 64, "number of processes")
+	workload := fs.String("workload", "", "workload name")
+	base := fs.String("base", "A", "base cluster (signature construction)")
+	target := fs.String("target", "B", "target cluster (prediction)")
+	cores := fs.Int("cores", 0, "restrict the target to this many cores")
+	timeline := fs.Bool("timeline", false, "print the signature execution timeline (paper Fig. 11)")
+	allPhases := fs.Bool("all-phases", false, "measure every phase, not only the relevant ones")
+	noTruth := fs.Bool("no-ground-truth", false, "skip the full target run (prediction only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("predict: -app is required")
+	}
+	a, err := apps.Make(*app, *procs, *workload)
+	if err != nil {
+		return err
+	}
+	bd, err := deployFor(*base, 0, *procs)
+	if err != nil {
+		return err
+	}
+	td, err := deployFor(*target, *cores, *procs)
+	if err != nil {
+		return err
+	}
+	exp := predict.Experiment{
+		App: a, Base: bd, Target: td,
+		EventOverhead: 8 * vtime.Microsecond,
+		SkipTargetAET: *noTruth,
+	}
+	if *allPhases {
+		sig := exp.Signature
+		sig.AllPhases = true
+		exp.Signature = sig
+	}
+	out, err := predict.Run(exp)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application : %s (%d processes, workload %q)\n", *app, *procs, *workload)
+	fmt.Printf("base machine: %s\n", bd)
+	fmt.Printf("target      : %s\n", td)
+	fmt.Printf("analysis    : %d phases, %d relevant, tracefile %d bytes, TFAT %.3fs\n",
+		out.Total, out.Relevant, out.TFSize, out.TFAT.Seconds())
+	fmt.Printf("construction: SCT %.2fs, base AET %.2fs (instrumented %.2fs)\n",
+		out.SCT.Seconds(), out.AETBase.Seconds(), out.AETPAS2P.Seconds())
+	fmt.Printf("signature   : SET %.2fs\n", out.SET.Seconds())
+	fmt.Printf("prediction  : PET %.2fs\n", out.PET.Seconds())
+	if !*noTruth {
+		fmt.Printf("ground truth: AET %.2fs  ->  PETE %.2f%%  (SET is %.2f%% of AET)\n",
+			out.AETTarget.Seconds(), out.PETEPercent, out.SETvsAETPercent)
+	}
+	if *timeline {
+		printTimeline(out)
+	}
+	return nil
+}
+
+// printTimeline renders the paper's Fig. 11: restart, measure, restart,
+// ..., then the prediction model.
+func printTimeline(out *predict.Outcome) {
+	fmt.Println("\nsignature execution timeline (Fig. 11):")
+	var t float64
+	for _, m := range out.Phases {
+		r := m.Restart.Seconds()
+		wu := m.Warmup.Seconds()
+		et := m.ET.Seconds()
+		fmt.Printf(" t=%8.3fs  restart ckpt(phase %d)   +%.3fs\n", t, m.PhaseID, r)
+		t += r
+		fmt.Printf(" t=%8.3fs  warm-up                  +%.3fs\n", t, wu)
+		t += wu
+		fmt.Printf(" t=%8.3fs  measure phase %-3d        +%.3fs (x weight %d -> %.2fs)\n",
+			t, m.PhaseID, et, m.Weight, m.Contribution().Seconds())
+		t += et
+	}
+	fmt.Printf(" t=%8.3fs  all processes report; Eq.(1) -> PET %.2fs\n",
+		t, out.PET.Seconds())
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"pas2p/internal/apps"
+	"pas2p/internal/logical"
+	"pas2p/internal/mpi"
+	"pas2p/internal/phase"
+	"pas2p/internal/signature"
+	"pas2p/internal/sigrepo"
+)
+
+// cmdRepo manages a site-wide signature repository: the "performance
+// metadata" store §1 of the paper proposes for schedulers.
+//
+//	pas2p repo -dir D add  -app A -procs N [-workload W] [-base B]
+//	pas2p repo -dir D list
+//	pas2p repo -dir D predict -app A -procs N [-workload W] -target T [-cores K]
+func cmdRepo(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("repo: need a subcommand (add, list, predict)")
+	}
+	// The -dir flag may come before or after the subcommand; accept
+	// the common form `repo <sub> -dir ...`.
+	sub := args[0]
+	rest := args[1:]
+	fs := flag.NewFlagSet("repo "+sub, flag.ExitOnError)
+	dir := fs.String("dir", "pas2p-repo", "repository directory")
+	app := fs.String("app", "", "application name")
+	procs := fs.Int("procs", 64, "number of processes")
+	workload := fs.String("workload", "", "workload name")
+	base := fs.String("base", "A", "base cluster (for add)")
+	target := fs.String("target", "B", "target cluster (for predict)")
+	cores := fs.Int("cores", 0, "restrict the target to this many cores")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	repo, err := sigrepo.Open(*dir)
+	if err != nil {
+		return err
+	}
+
+	switch sub {
+	case "add":
+		if *app == "" {
+			return fmt.Errorf("repo add: -app is required")
+		}
+		a, err := apps.Make(*app, *procs, *workload)
+		if err != nil {
+			return err
+		}
+		wl := *workload
+		if wl == "" {
+			wl = apps.Lookup(*app).DefaultWorkload
+		}
+		bd, err := deployFor(*base, 0, *procs)
+		if err != nil {
+			return err
+		}
+		traced, err := mpi.Run(a, mpi.RunConfig{Deployment: bd, Trace: true})
+		if err != nil {
+			return err
+		}
+		l, err := logical.Order(traced.Trace)
+		if err != nil {
+			return err
+		}
+		an, err := phase.Extract(l, phase.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		tb, err := an.BuildTable(1)
+		if err != nil {
+			return err
+		}
+		br, err := signature.Build(a, tb, bd, signature.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		path, err := repo.Add(br.Signature, wl, bd.Cluster.Name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("added %s (%d relevant phases, SCT %.2fs) -> %s\n",
+			*app, len(tb.RelevantRows()), br.SCT.Seconds(), path)
+		return nil
+
+	case "list":
+		entries, err := repo.List()
+		if err != nil {
+			return err
+		}
+		if len(entries) == 0 {
+			fmt.Println("repository is empty")
+			return nil
+		}
+		fmt.Printf("%-14s %-7s %-24s %-12s %-8s %s\n",
+			"APP", "PROCS", "WORKLOAD", "BUILT ON", "ISA", "PHASES")
+		for _, e := range entries {
+			fmt.Printf("%-14s %-7d %-24s %-12s %-8s %d/%d relevant\n",
+				e.Saved.AppName, e.Saved.Procs, e.Saved.Workload,
+				e.Saved.BaseCluster, e.Saved.BaseISA,
+				len(e.Saved.Table.RelevantRows()), e.Saved.Table.TotalPhases)
+		}
+		return nil
+
+	case "predict":
+		if *app == "" {
+			return fmt.Errorf("repo predict: -app is required")
+		}
+		wl := *workload
+		if wl == "" {
+			if s := apps.Lookup(*app); s != nil {
+				wl = s.DefaultWorkload
+			}
+		}
+		entry, err := repo.Lookup(*app, *procs, wl)
+		if err != nil {
+			return err
+		}
+		td, err := deployFor(*target, *cores, *procs)
+		if err != nil {
+			return err
+		}
+		res, err := entry.Predict(td, apps.Make)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s/p%d/%q on %s: SET %.2fs, PET %.2fs\n",
+			*app, *procs, wl, td, res.SET.Seconds(), res.PET.Seconds())
+		return nil
+
+	default:
+		return fmt.Errorf("repo: unknown subcommand %q (add, list, predict)", sub)
+	}
+}

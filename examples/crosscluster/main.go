@@ -1,0 +1,83 @@
+// Crosscluster reproduces the paper's core experiment in miniature:
+// build an application signature once on the base machine (cluster A),
+// then carry it to other clusters to predict the application's
+// execution time there — including the paper's §7 limitation that a
+// signature cannot be ported to a machine with a different instruction
+// set (cluster D), where PAS2P instead rebuilds it from the phase
+// table.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"pas2p"
+)
+
+func main() {
+	const procs = 32
+	app, err := pas2p.MakeApp("cg", procs, "classB")
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := pas2p.NewDeployment(pas2p.ClusterA(), procs, pas2p.MapBlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage A once, on the base machine.
+	traced, err := pas2p.RunApp(app, pas2p.RunConfig{Deployment: base, Trace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, tb, err := pas2p.Analyze(traced.Trace, pas2p.DefaultPhaseConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sig, sct, err := pas2p.BuildSignature(app, tb, base, pas2p.DefaultSignatureOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("signature for %s built on %s (SCT %.2fs, %d relevant phases)\n\n",
+		app.Name, base.Cluster.Name, pas2p.Seconds(sct), len(tb.RelevantRows()))
+
+	fmt.Printf("%-12s %-10s %-10s %-10s %-8s\n", "target", "SET(s)", "PET(s)", "AET(s)", "PETE")
+	for _, cl := range []*pas2p.Cluster{pas2p.ClusterA(), pas2p.ClusterB(), pas2p.ClusterC(), pas2p.ClusterD()} {
+		target, err := pas2p.NewDeployment(cl, procs, pas2p.MapBlock)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sig.Execute(target)
+		var mismatch *pas2p.ErrISAMismatch
+		if errors.As(err, &mismatch) {
+			// §7: different ISA. Rebuild the signature from the phase
+			// table on the target machine, then execute there.
+			fmt.Printf("%-12s signature not portable (%s != %s); rebuilding from phase table...\n",
+				cl.Name, mismatch.TargetISA, mismatch.BaseISA)
+			reb, _, rerr := pas2p.BuildSignature(app, tb, target, pas2p.DefaultSignatureOptions())
+			if rerr != nil {
+				log.Fatal(rerr)
+			}
+			res, err = reb.Execute(target)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		full, err := pas2p.RunApp(app, pas2p.RunConfig{Deployment: target})
+		if err != nil {
+			log.Fatal(err)
+		}
+		aet := pas2p.Seconds(full.Elapsed)
+		pet := pas2p.Seconds(res.PET)
+		fmt.Printf("%-12s %-10.2f %-10.2f %-10.2f %.2f%%\n",
+			cl.Name, pas2p.Seconds(res.SET), pet, aet, 100*abs(pet-aet)/aet)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

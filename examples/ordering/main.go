@@ -1,0 +1,110 @@
+// Ordering visualises the paper's §3.2 (Figs. 3-5): the same physical
+// trace ordered with the classic Lamport rules versus the PAS2P
+// ordering, where a receive is pinned to its send's logical time + 1
+// and the tick table holds at most one event per process per tick.
+// Run it to see why the PAS2P ordering makes the logical trace
+// machine-independent: the wildcard receives of a master arrive in a
+// physical order that depends on the cluster, but their PAS2P logical
+// times depend only on the matched sends.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pas2p"
+)
+
+// app: three workers with different compute loads send to a master
+// through a wildcard receive; the master answers; one barrier closes
+// each round. Arrival order at the master is machine-dependent.
+func app() pas2p.App {
+	return pas2p.App{
+		Name:  "ordering-demo",
+		Procs: 4,
+		Body: func(c *pas2p.Comm) {
+			for round := 0; round < 2; round++ {
+				if c.Rank() == 0 {
+					for i := 1; i < 4; i++ {
+						c.Recv(pas2p.AnySource, 1)
+					}
+					for i := 1; i < 4; i++ {
+						c.Send(i, 2, []float64{1})
+					}
+				} else {
+					// Worker 3 computes least and sends first; worker 1
+					// computes most and sends last.
+					c.Compute(float64(4-c.Rank()) * 2e7)
+					c.Send(0, 1, []float64{float64(c.Rank())})
+					c.Recv(0, 2)
+				}
+				c.Barrier()
+			}
+		},
+	}
+}
+
+func dump(title string, l *pas2p.Logical) {
+	fmt.Printf("\n%s (%d ticks)\n", title, l.NumTicks())
+	fmt.Printf("%-6s", "tick")
+	for p := 0; p < l.Trace.Procs; p++ {
+		fmt.Printf(" %-14s", fmt.Sprintf("P%d", p))
+	}
+	fmt.Println()
+	for t := range l.Ticks {
+		fmt.Printf("%-6d", t)
+		for p := 0; p < l.Trace.Procs; p++ {
+			cell := "."
+			if i := l.EventAt(t, int32(p)); i >= 0 {
+				e := &l.Trace.Events[i]
+				switch {
+				case e.Kind.String() == "Send":
+					cell = fmt.Sprintf("send->%d t%d", e.Peer, e.Tag)
+				case e.Kind.String() == "Recv":
+					cell = fmt.Sprintf("recv<-%d t%d", e.Peer, e.Tag)
+				default:
+					cell = "collective"
+				}
+			}
+			fmt.Printf(" %-14s", cell)
+		}
+		fmt.Println()
+	}
+}
+
+func main() {
+	for _, cl := range []*pas2p.Cluster{pas2p.ClusterA(), pas2p.ClusterC()} {
+		d, err := pas2p.NewDeployment(cl, 4, pas2p.MapBlock)
+		if err != nil {
+			log.Fatal(err)
+		}
+		traced, err := pas2p.RunApp(app(), pas2p.RunConfig{Deployment: d, Trace: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n=== physical trace from %s ===\n", cl.Name)
+		fmt.Println("per-process event order (machine-dependent for the master's wildcard receives):")
+		for p, evs := range traced.Trace.PerProcess() {
+			fmt.Printf(" P%d:", p)
+			for i := range evs {
+				e := &evs[i]
+				fmt.Printf(" %s(%d)", e.Kind, e.Peer)
+			}
+			fmt.Println()
+		}
+
+		lam, err := pas2p.OrderLamport(traced.Trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dump("Lamport ordering (Fig. 3 left): driven by physical occurrence", lam)
+
+		p2p, err := pas2p.OrderLogical(traced.Trace)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dump("PAS2P ordering (Figs. 3-5): receives pinned to their sends", p2p)
+	}
+	fmt.Println("\nThe PAS2P tick tables above are identical across both clusters;")
+	fmt.Println("the Lamport ones follow each machine's physical interleaving.")
+}

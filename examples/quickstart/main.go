@@ -1,0 +1,111 @@
+// Quickstart: write a small message-passing application against the
+// pas2p API, trace it on a base cluster, extract its phases, build the
+// signature, and predict its execution time on a different cluster —
+// the complete PAS2P workflow in one file.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pas2p"
+)
+
+// heatApp is a toy 1-D heat diffusion: every iteration exchanges halo
+// cells with both neighbours, computes the stencil, and reduces the
+// global residual. It is exactly the kind of iterative SPMD code PAS2P
+// characterises well.
+func heatApp(procs, iters, cells int) pas2p.App {
+	return pas2p.App{
+		Name:  "heat1d",
+		Procs: procs,
+		Body: func(c *pas2p.Comm) {
+			n := c.Size()
+			left := (c.Rank() + n - 1) % n
+			right := (c.Rank() + 1) % n
+			field := make([]float64, cells)
+			for i := range field {
+				field[i] = float64(c.Rank()*cells + i)
+			}
+			for it := 0; it < iters; it++ {
+				// Halo exchange: one cell each way (real data!).
+				lh := c.Sendrecv(left, 1, field[:1], right, 1)
+				rh := c.Sendrecv(right, 2, field[cells-1:], left, 2)
+				// Declare the stencil's cost and actually compute it.
+				c.Compute(5e7)
+				prev := lh[0]
+				for i := 0; i < cells-1; i++ {
+					cur := field[i]
+					field[i] = 0.25*prev + 0.5*field[i] + 0.25*field[i+1]
+					prev = cur
+				}
+				field[cells-1] = 0.25*prev + 0.5*field[cells-1] + 0.25*rh[0]
+				// Global residual.
+				c.Allreduce([]float64{field[0]}, pas2p.Sum)
+			}
+		},
+	}
+}
+
+func main() {
+	const procs = 16
+	app := heatApp(procs, 200, 256)
+
+	base, err := pas2p.NewDeployment(pas2p.ClusterA(), procs, pas2p.MapBlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target, err := pas2p.NewDeployment(pas2p.ClusterC(), procs, pas2p.MapBlock)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage A, step 1: instrumented run on the base machine.
+	traced, err := pas2p.RunApp(app, pas2p.RunConfig{Deployment: base, Trace: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := traced.Trace.Stats()
+	fmt.Printf("traced %d events (%d sends / %d recvs / %d collectives)\n",
+		st.Events, st.Sends, st.Recvs, st.Collectives)
+
+	// Stage A, steps 2-3: logical model + phase extraction.
+	an, tb, err := pas2p.Analyze(traced.Trace, pas2p.DefaultPhaseConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(an.Summary())
+
+	// Stage A, step 4: signature construction (simulated DMTCP).
+	sig, sct, err := pas2p.BuildSignature(app, tb, base, pas2p.DefaultSignatureOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("signature constructed in %.2fs (virtual)\n", pas2p.Seconds(sct))
+
+	// Stage B: execute the signature on the target and predict.
+	res, err := sig.Execute(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("signature execution time (SET): %.2fs\n", pas2p.Seconds(res.SET))
+	fmt.Printf("predicted execution time (PET): %.2fs\n", pas2p.Seconds(res.PET))
+
+	// Ground truth: run the whole application on the target.
+	full, err := pas2p.RunApp(app, pas2p.RunConfig{Deployment: target})
+	if err != nil {
+		log.Fatal(err)
+	}
+	aet := pas2p.Seconds(full.Elapsed)
+	pet := pas2p.Seconds(res.PET)
+	fmt.Printf("actual execution time    (AET): %.2fs\n", aet)
+	fmt.Printf("prediction error: %.2f%%  |  SET is %.2f%% of AET\n",
+		100*abs(pet-aet)/aet, 100*pas2p.Seconds(res.SET)/aet)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,3 @@
+module pas2p
+
+go 1.22

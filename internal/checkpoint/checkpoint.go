@@ -1,0 +1,121 @@
+// Package checkpoint simulates the coordinated checkpoint/restart
+// substrate PAS2P builds signatures with (the paper uses DMTCP, a
+// transparent user-level checkpointing library; earlier PAS2P versions
+// used BLCR). Because the simulation engine is deterministic, a
+// snapshot does not need to capture memory: it is a replay position —
+// the per-process event counts at which the checkpoint was taken —
+// plus a cost model for what snapshotting and restarting that much
+// state would take. The timing semantics of checkpoint/restart (pay a
+// restore cost, skip the wall time of unexecuted regions, warm the
+// machine back up) are reproduced exactly by the signature executor.
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+
+	"pas2p/internal/vtime"
+)
+
+// CostModel prices snapshot and restart operations.
+type CostModel struct {
+	// SnapshotBase/RestartBase are fixed per-process costs
+	// (coordination, process tree reconstruction).
+	SnapshotBase vtime.Duration
+	RestartBase  vtime.Duration
+	// SnapshotRate/RestoreRate are the bytes/second at which state is
+	// written out or read back.
+	SnapshotRate float64
+	RestoreRate  float64
+}
+
+// DefaultDMTCP returns a cost model in the ballpark of user-level
+// checkpointing on the paper's clusters: tens of milliseconds of fixed
+// cost plus disk-speed state movement.
+func DefaultDMTCP() CostModel {
+	return CostModel{
+		SnapshotBase: 50 * vtime.Millisecond,
+		RestartBase:  80 * vtime.Millisecond,
+		SnapshotRate: 400e6,
+		RestoreRate:  600e6,
+	}
+}
+
+// Valid reports whether the model is usable.
+func (m CostModel) Valid() bool {
+	return m.SnapshotBase >= 0 && m.RestartBase >= 0 &&
+		m.SnapshotRate > 0 && m.RestoreRate > 0
+}
+
+// SnapshotTime is the per-process cost of taking a coordinated
+// checkpoint of stateBytes of process state.
+func (m CostModel) SnapshotTime(stateBytes int64) vtime.Duration {
+	return m.SnapshotBase + rate(stateBytes, m.SnapshotRate)
+}
+
+// RestartTime is the per-process cost of restoring a checkpoint.
+func (m CostModel) RestartTime(stateBytes int64) vtime.Duration {
+	return m.RestartBase + rate(stateBytes, m.RestoreRate)
+}
+
+func rate(bytes int64, bps float64) vtime.Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	return vtime.Duration(math.Round(float64(bytes) / bps * 1e9))
+}
+
+// Snapshot is one stored checkpoint: the replay position of every
+// process a little before a phase's start point (the offset guarantees
+// the machine components are warm when measurement begins, as §3.4
+// prescribes).
+type Snapshot struct {
+	// PhaseID is the phase this checkpoint serves.
+	PhaseID int
+	// Position[p] is the number of events process p had completed when
+	// the checkpoint was taken.
+	Position []int64
+	// StateBytes is the per-process state size the cost model prices.
+	StateBytes int64
+}
+
+// Catalog is the set of snapshots shipped with a signature.
+type Catalog struct {
+	AppName string
+	Procs   int
+	// ISA records the base machine's instruction set; a signature's
+	// binaries cannot run on a different ISA (§7), so executing the
+	// catalogue elsewhere must be refused.
+	ISA       string
+	Snapshots []Snapshot
+}
+
+// Validate checks structural sanity.
+func (c *Catalog) Validate() error {
+	if c.Procs <= 0 {
+		return fmt.Errorf("checkpoint catalog: no processes")
+	}
+	if c.ISA == "" {
+		return fmt.Errorf("checkpoint catalog: missing ISA")
+	}
+	seen := map[int]bool{}
+	for _, s := range c.Snapshots {
+		if len(s.Position) != c.Procs {
+			return fmt.Errorf("checkpoint catalog: snapshot for phase %d has %d positions, want %d",
+				s.PhaseID, len(s.Position), c.Procs)
+		}
+		if seen[s.PhaseID] {
+			return fmt.Errorf("checkpoint catalog: duplicate snapshot for phase %d", s.PhaseID)
+		}
+		seen[s.PhaseID] = true
+		for p, pos := range s.Position {
+			if pos < 0 {
+				return fmt.Errorf("checkpoint catalog: phase %d proc %d position %d", s.PhaseID, p, pos)
+			}
+		}
+		if s.StateBytes < 0 {
+			return fmt.Errorf("checkpoint catalog: phase %d negative state size", s.PhaseID)
+		}
+	}
+	return nil
+}

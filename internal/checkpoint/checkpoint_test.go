@@ -1,0 +1,95 @@
+package checkpoint
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pas2p/internal/vtime"
+)
+
+func TestDefaultDMTCPValid(t *testing.T) {
+	if !DefaultDMTCP().Valid() {
+		t.Error("default model must be valid")
+	}
+	bad := DefaultDMTCP()
+	bad.SnapshotRate = 0
+	if bad.Valid() {
+		t.Error("zero snapshot rate should be invalid")
+	}
+	bad = DefaultDMTCP()
+	bad.RestartBase = -1
+	if bad.Valid() {
+		t.Error("negative base should be invalid")
+	}
+}
+
+func TestCostsScaleWithState(t *testing.T) {
+	m := DefaultDMTCP()
+	small := m.SnapshotTime(1 << 20)
+	big := m.SnapshotTime(1 << 30)
+	if big <= small {
+		t.Error("snapshotting more state must cost more")
+	}
+	if m.SnapshotTime(0) != m.SnapshotBase {
+		t.Error("zero state should cost exactly the base")
+	}
+	if m.RestartTime(0) != m.RestartBase {
+		t.Error("zero state restart should cost exactly the base")
+	}
+	// 600 MB at 600 MB/s = 1 s + base.
+	want := m.RestartBase + vtime.Second
+	if got := m.RestartTime(600e6); got != want {
+		t.Errorf("RestartTime(600MB) = %v, want %v", got, want)
+	}
+}
+
+func TestCatalogValidate(t *testing.T) {
+	good := &Catalog{
+		AppName: "cg", Procs: 2, ISA: "x86_64",
+		Snapshots: []Snapshot{
+			{PhaseID: 1, Position: []int64{10, 12}, StateBytes: 1 << 20},
+			{PhaseID: 2, Position: []int64{30, 31}, StateBytes: 1 << 20},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(c *Catalog){
+		func(c *Catalog) { c.Procs = 0 },
+		func(c *Catalog) { c.ISA = "" },
+		func(c *Catalog) { c.Snapshots[0].Position = []int64{1} },
+		func(c *Catalog) { c.Snapshots[1].PhaseID = 1 },
+		func(c *Catalog) { c.Snapshots[0].Position[0] = -5 },
+		func(c *Catalog) { c.Snapshots[0].StateBytes = -1 },
+	}
+	for i, mutate := range cases {
+		c := &Catalog{
+			AppName: "cg", Procs: 2, ISA: "x86_64",
+			Snapshots: []Snapshot{
+				{PhaseID: 1, Position: []int64{10, 12}, StateBytes: 1 << 20},
+				{PhaseID: 2, Position: []int64{30, 31}, StateBytes: 1 << 20},
+			},
+		}
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+	}
+}
+
+// Property: costs are monotone and non-negative for any state size.
+func TestQuickCostMonotone(t *testing.T) {
+	m := DefaultDMTCP()
+	err := quick.Check(func(a, b uint32) bool {
+		x, y := int64(a), int64(b)
+		if x > y {
+			x, y = y, x
+		}
+		return m.SnapshotTime(x) <= m.SnapshotTime(y) &&
+			m.RestartTime(x) <= m.RestartTime(y) &&
+			m.SnapshotTime(x) >= 0
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,30 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SaveCluster writes a cluster model as JSON, so users can derive
+// custom machines from the presets and load them into the CLI.
+func SaveCluster(w io.Writer, c *Cluster) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(c)
+}
+
+// LoadCluster reads a JSON cluster model and validates it.
+func LoadCluster(r io.Reader) (*Cluster, error) {
+	var c Cluster
+	if err := json.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("machine: decoding cluster: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}

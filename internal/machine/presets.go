@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"pas2p/internal/network"
+	"pas2p/internal/vtime"
+)
+
+// networkParams abbreviates network.Params in the preset tables.
+type networkParams = network.Params
+
+// The preset clusters reproduce Table 2 of the paper. Absolute compute
+// rates and network constants are order-of-magnitude models of the
+// hardware named there (Xeon 5150 / E5430 / E7350, Itanium Montvale;
+// Gigabit Ethernet vs ConnectX InfiniBand); the cross-cluster *ratios*
+// are what the prediction experiments exercise.
+
+// GigabitEthernet returns inter-node parameters for a GigE fabric.
+func GigabitEthernet() networkParams {
+	return networkParams{
+		Latency:            50 * vtime.Microsecond,
+		Bandwidth:          118e6, // ~118 MB/s sustained
+		SendOverhead:       3 * vtime.Microsecond,
+		RecvOverhead:       3 * vtime.Microsecond,
+		InjectionBandwidth: 600e6,
+		EagerLimit:         64 << 10,
+	}
+}
+
+// InfiniBand returns inter-node parameters for a ConnectX IB fabric.
+func InfiniBand() networkParams {
+	return networkParams{
+		Latency:            2 * vtime.Microsecond,
+		Bandwidth:          1.2e9,
+		SendOverhead:       600 * vtime.Nanosecond,
+		RecvOverhead:       600 * vtime.Nanosecond,
+		InjectionBandwidth: 4e9,
+		EagerLimit:         16 << 10,
+	}
+}
+
+// SharedMemory returns intra-node parameters (memory-copy transport).
+func SharedMemory() networkParams {
+	return networkParams{
+		Latency:            500 * vtime.Nanosecond,
+		Bandwidth:          3e9,
+		SendOverhead:       200 * vtime.Nanosecond,
+		RecvOverhead:       200 * vtime.Nanosecond,
+		InjectionBandwidth: 6e9,
+		EagerLimit:         256 << 10,
+	}
+}
+
+// ClusterA models Table 2's cluster A: 64 nodes of dual-core Intel
+// Xeon 5150 (2.66 GHz, 4 MB L2), Gigabit Ethernet — 128 cores.
+func ClusterA() *Cluster {
+	return &Cluster{
+		Name:          "Cluster A",
+		ISA:           "x86_64",
+		Nodes:         64,
+		CoresPerNode:  2,
+		CoreGFLOPS:    2.1,
+		MemContention: 0.12,
+		Interconnect:  GigabitEthernet(),
+		IntraNode:     SharedMemory(),
+	}
+}
+
+// ClusterB models cluster B: 8 nodes of 2x quad-core Xeon E5430
+// (2.66 GHz, 2x6 MB L2), Gigabit Ethernet — 64 cores. Newer cores with
+// larger caches run slightly faster per core than cluster A.
+func ClusterB() *Cluster {
+	return &Cluster{
+		Name:          "Cluster B",
+		ISA:           "x86_64",
+		Nodes:         8,
+		CoresPerNode:  8,
+		CoreGFLOPS:    2.6,
+		MemContention: 0.04,
+		Interconnect:  GigabitEthernet(),
+		IntraNode:     SharedMemory(),
+	}
+}
+
+// ClusterC models cluster C: 16 nodes of 4x quad-core Xeon E7350
+// (2.66 GHz), ConnectX InfiniBand — 256 cores.
+func ClusterC() *Cluster {
+	return &Cluster{
+		Name:          "Cluster C",
+		ISA:           "x86_64",
+		Nodes:         16,
+		CoresPerNode:  16,
+		CoreGFLOPS:    3.0,
+		MemContention: 0.02,
+		Interconnect:  InfiniBand(),
+		IntraNode:     SharedMemory(),
+	}
+}
+
+// ClusterD models cluster D: an Itanium Montvale SMP NUMA machine with
+// InfiniBand 4x DDR. Its ISA differs from clusters A-C, so signatures
+// built there cannot be ported (§7 / Appendix E); PAS2P must rebuild
+// the signature from the phase table instead.
+func ClusterD() *Cluster {
+	return &Cluster{
+		Name:          "Cluster D",
+		ISA:           "ia64",
+		Nodes:         11,
+		CoresPerNode:  16,
+		CoreGFLOPS:    1.6,
+		MemContention: 0.03,
+		Interconnect:  InfiniBand(),
+		IntraNode:     SharedMemory(),
+	}
+}
+
+// ByName returns a preset cluster by its short name ("A".."D") or full
+// name ("Cluster A"); it returns nil for unknown names.
+func ByName(name string) *Cluster {
+	switch name {
+	case "A", "a", "Cluster A":
+		return ClusterA()
+	case "B", "b", "Cluster B":
+		return ClusterB()
+	case "C", "c", "Cluster C":
+		return ClusterC()
+	case "D", "d", "Cluster D":
+		return ClusterD()
+	}
+	return nil
+}
+
+// Presets lists all modelled clusters in Table 2 order.
+func Presets() []*Cluster {
+	return []*Cluster{ClusterA(), ClusterB(), ClusterC(), ClusterD()}
+}

@@ -1,0 +1,146 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"pas2p/internal/network"
+	"pas2p/internal/vtime"
+)
+
+// TopologyKind selects how inter-node distance translates into path
+// parameters. The paper's clusters are small enough that a flat fabric
+// is adequate (and remains the default); larger modelled machines can
+// enable a topology so that rank placement changes communication cost,
+// which mapping-policy experiments then expose.
+type TopologyKind int
+
+const (
+	// TopoFlat is the default: every inter-node pair uses the
+	// interconnect parameters unchanged.
+	TopoFlat TopologyKind = iota
+	// TopoFatTree models a k-ary fat tree with Radix-port switches:
+	// nodes in the same edge group pay one switch hop, nodes under the
+	// same aggregation pod pay three, anything else five.
+	TopoFatTree
+	// TopoTorus2D models a 2-D torus of nodes: the hop count is the
+	// Manhattan distance with wraparound.
+	TopoTorus2D
+)
+
+func (k TopologyKind) String() string {
+	switch k {
+	case TopoFlat:
+		return "flat"
+	case TopoFatTree:
+		return "fat-tree"
+	case TopoTorus2D:
+		return "torus2d"
+	default:
+		return "topology(?)"
+	}
+}
+
+// Topology parameterises the distance model.
+type Topology struct {
+	Kind TopologyKind
+	// Radix is the fat tree's switch port count (nodes per edge
+	// switch = Radix/2); ignored by other kinds.
+	Radix int
+	// HopLatency is the extra latency added per switch/router hop
+	// beyond the first.
+	HopLatency vtime.Duration
+	// HopBandwidthTaper multiplies available bandwidth per extra hop
+	// (1 = full bisection; < 1 models oversubscribed uplinks).
+	HopBandwidthTaper float64
+}
+
+// Validate checks the topology parameters.
+func (t *Topology) Validate() error {
+	switch t.Kind {
+	case TopoFlat:
+		return nil
+	case TopoFatTree:
+		if t.Radix < 2 {
+			return fmt.Errorf("machine: fat tree needs radix >= 2, got %d", t.Radix)
+		}
+	case TopoTorus2D:
+	default:
+		return fmt.Errorf("machine: unknown topology kind %d", t.Kind)
+	}
+	if t.HopLatency < 0 {
+		return fmt.Errorf("machine: negative hop latency")
+	}
+	if t.HopBandwidthTaper <= 0 || t.HopBandwidthTaper > 1 {
+		return fmt.Errorf("machine: bandwidth taper %v out of (0,1]", t.HopBandwidthTaper)
+	}
+	return nil
+}
+
+// Hops returns the switch/router hop count between two nodes.
+func (t *Topology) Hops(a, b, nodes int) int {
+	if a == b {
+		return 0
+	}
+	switch t.Kind {
+	case TopoFatTree:
+		perEdge := t.Radix / 2
+		if perEdge < 1 {
+			perEdge = 1
+		}
+		if a/perEdge == b/perEdge {
+			return 1 // same edge switch
+		}
+		perPod := perEdge * (t.Radix / 2)
+		if perPod < 1 {
+			perPod = 1
+		}
+		if a/perPod == b/perPod {
+			return 3 // up to aggregation and back down
+		}
+		return 5 // through the core
+	case TopoTorus2D:
+		side := int(math.Sqrt(float64(nodes)))
+		if side < 1 {
+			side = 1
+		}
+		ax, ay := a%side, a/side
+		bx, by := b%side, b/side
+		dx := absInt(ax - bx)
+		if side-dx < dx {
+			dx = side - dx
+		}
+		dy := absInt(ay - by)
+		if side-dy < dy {
+			dy = side - dy
+		}
+		h := dx + dy
+		if h < 1 {
+			h = 1
+		}
+		return h
+	default:
+		return 1
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// pathAcross derives the parameters of an inter-node path across the
+// topology: the base interconnect plus per-hop latency, with bandwidth
+// tapered per extra hop.
+func (t *Topology) pathAcross(base network.Params, hops int) network.Params {
+	if hops <= 1 || t.Kind == TopoFlat {
+		return base
+	}
+	p := base
+	p.Latency += vtime.Duration(hops-1) * t.HopLatency
+	taper := math.Pow(t.HopBandwidthTaper, float64(hops-1))
+	p.Bandwidth *= taper
+	return p
+}

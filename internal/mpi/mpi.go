@@ -1,0 +1,411 @@
+// Package mpi is the message-passing API that applications in this
+// repository are written against. It plays the role MPI plays for the
+// paper's workloads: point-to-point and collective operations with
+// standard semantics, executed on the deterministic simulator of
+// package sim over a modelled cluster.
+//
+// The package also hosts the PAS2P instrumentation boundary. Exactly
+// like the original libpas2p intercepting MPI calls via LD_PRELOAD,
+// every operation here can be recorded into a trace (with a modelled
+// per-event overhead, reproducing the paper's Table 9 instrumented run
+// times) and can be intercepted by a controller — the mechanism the
+// signature executor uses to fast-forward between phases and measure
+// inside them.
+package mpi
+
+import (
+	"fmt"
+
+	"pas2p/internal/machine"
+	"pas2p/internal/sim"
+	"pas2p/internal/trace"
+	"pas2p/internal/vtime"
+)
+
+// AnySource and AnyTag are wildcards for Recv/Irecv.
+const (
+	AnySource = sim.AnySource
+	AnyTag    = sim.AnyTag
+)
+
+// App is a parallel program: Body runs once per rank.
+type App struct {
+	Name  string
+	Procs int
+	Body  func(c *Comm)
+}
+
+// Interceptor observes every communication operation of one rank; the
+// signature executor implements it to drive checkpoint/skip/measure
+// modes. Init runs on the rank before any application code, Before
+// runs prior to each operation (eventIndex is the index the event will
+// get), and After runs once it completed.
+type Interceptor interface {
+	Init(c *Comm)
+	Before(c *Comm, kind trace.Kind, eventIndex int64)
+	After(c *Comm, kind trace.Kind, eventIndex int64)
+}
+
+// RunConfig configures one execution of an App.
+type RunConfig struct {
+	// Deployment places the app's ranks on a modelled cluster.
+	Deployment *machine.Deployment
+	// Trace enables event recording on every rank.
+	Trace bool
+	// EventOverhead is the virtual CPU cost the instrumentation adds
+	// per recorded event (zero when Trace is false).
+	EventOverhead vtime.Duration
+	// NewInterceptor, if non-nil, supplies a per-rank interceptor.
+	NewInterceptor func(rank int) Interceptor
+	// NICContention serialises inter-node messages on each node's NIC
+	// (see sim.Config.NICContention).
+	NICContention bool
+	// AlgorithmicCollectives walks real collective algorithms for
+	// per-member completion skew (see sim.Config).
+	AlgorithmicCollectives bool
+}
+
+// RunResult reports one execution.
+type RunResult struct {
+	// Elapsed is the run's virtual makespan (the AET when
+	// uninstrumented, the AETPAS2P when traced).
+	Elapsed vtime.Duration
+	// Trace is the merged event trace (nil unless RunConfig.Trace).
+	Trace *trace.Trace
+	// Stats are the simulator's traffic counters.
+	Stats sim.Result
+}
+
+// Run executes the application to completion.
+func Run(app App, cfg RunConfig) (*RunResult, error) {
+	if app.Procs <= 0 {
+		return nil, fmt.Errorf("mpi: app %q has %d procs", app.Name, app.Procs)
+	}
+	if cfg.Deployment == nil {
+		return nil, fmt.Errorf("mpi: app %q: nil deployment", app.Name)
+	}
+	if cfg.Deployment.Ranks != app.Procs {
+		return nil, fmt.Errorf("mpi: app %q wants %d procs but deployment has %d ranks",
+			app.Name, app.Procs, cfg.Deployment.Ranks)
+	}
+	recorders := make([]*trace.Recorder, app.Procs)
+	world := worldMembers(app.Procs)
+	body := func(p *sim.Proc) {
+		c := &Comm{
+			p:    p,
+			dep:  cfg.Deployment,
+			ctx:  0,
+			rank: p.Rank(), size: p.Size(),
+			members: world,
+			st:      &rankState{overhead: cfg.EventOverhead},
+		}
+		if cfg.Trace {
+			rec := trace.NewRecorder(p.Rank())
+			recorders[p.Rank()] = rec
+			c.st.rec = rec
+		}
+		if cfg.NewInterceptor != nil {
+			c.st.icept = cfg.NewInterceptor(p.Rank())
+			c.st.icept.Init(c)
+		}
+		app.Body(c)
+	}
+	res, err := sim.Run(sim.Config{
+		Deployment: cfg.Deployment, Body: body, Name: app.Name,
+		NICContention:          cfg.NICContention,
+		AlgorithmicCollectives: cfg.AlgorithmicCollectives,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &RunResult{Elapsed: vtime.Duration(res.Finish), Stats: res}
+	if cfg.Trace {
+		streams := make([][]trace.Event, app.Procs)
+		for i, r := range recorders {
+			if r == nil {
+				return nil, fmt.Errorf("mpi: app %q rank %d produced no recorder", app.Name, i)
+			}
+			streams[i] = r.Events()
+		}
+		tr, err := trace.NewTrace(app.Name, app.Procs, streams, out.Elapsed)
+		if err != nil {
+			return nil, err
+		}
+		out.Trace = tr
+	}
+	return out, nil
+}
+
+func worldMembers(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// Comm is one rank's communicator handle (the world communicator; Split
+// derives subsets). All methods must be called from the rank's body.
+type Comm struct {
+	p          *sim.Proc
+	dep        *machine.Deployment
+	ctx        int
+	rank, size int
+	members    []int // world ranks of this communicator's members
+	splitCount int
+
+	// st is shared by every communicator of the same rank, so event
+	// and send counters are global per process, as the phase table
+	// requires.
+	st *rankState
+}
+
+// rankState is the per-process instrumentation state shared by all of
+// a rank's communicators.
+type rankState struct {
+	rec        *trace.Recorder
+	overhead   vtime.Duration
+	icept      Interceptor
+	eventIndex int64
+	sends      int64
+}
+
+// Rank returns the caller's rank within this communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in this communicator.
+func (c *Comm) Size() int { return c.size }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.p.Rank() }
+
+// Now returns the rank's current virtual time.
+func (c *Comm) Now() vtime.Time { return c.p.Now() }
+
+// EventIndex returns the number of communication events this rank has
+// performed so far across all communicators (the replay position used
+// by phase boundaries).
+func (c *Comm) EventIndex() int64 { return c.st.eventIndex }
+
+// Sends returns the number of send events this rank has performed, the
+// counter the paper's phase table is keyed by.
+func (c *Comm) Sends() int64 { return c.st.sends }
+
+// Compute performs flops worth of computation: virtual time advances
+// by the deployment's machine model for this rank.
+func (c *Comm) Compute(flops float64) {
+	c.p.Advance(c.dep.ComputeTime(c.p.Rank(), flops))
+}
+
+// Elapse advances virtual time by a raw duration (used by the tool
+// layers to model restart costs; applications should prefer Compute).
+func (c *Comm) Elapse(d vtime.Duration) { c.p.Advance(d) }
+
+// SetMode adjusts operation costing for this rank (tool layers only).
+func (c *Comm) SetMode(computeScale float64, commFree bool) {
+	c.p.SetMode(sim.Mode{ComputeScale: computeScale, CommFree: commFree})
+}
+
+// worldPeer translates a communicator rank to a world rank.
+func (c *Comm) worldPeer(r int) int {
+	if r == AnySource {
+		return AnySource
+	}
+	if r < 0 || r >= c.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, c.size))
+	}
+	return c.members[r]
+}
+
+// commRank translates a world rank back to this communicator's rank.
+func (c *Comm) commRank(world int) int {
+	if world < 0 {
+		return world
+	}
+	for i, m := range c.members {
+		if m == world {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Comm) before(kind trace.Kind) int64 {
+	idx := c.st.eventIndex
+	if c.st.icept != nil {
+		c.st.icept.Before(c, kind, idx)
+	}
+	if c.st.rec != nil && c.st.overhead > 0 {
+		c.p.Advance(c.st.overhead)
+	}
+	return idx
+}
+
+func (c *Comm) after(kind trace.Kind, idx int64) {
+	c.st.eventIndex++
+	if kind == trace.Send {
+		c.st.sends++
+	}
+	if c.st.icept != nil {
+		c.st.icept.After(c, kind, idx)
+	}
+}
+
+func (c *Comm) recordPtP(info sim.PtPInfo) {
+	if c.st.rec == nil {
+		return
+	}
+	kind := trace.Recv
+	peer := info.Src
+	if info.IsSend {
+		kind = trace.Send
+		peer = info.Dst
+	}
+	c.st.rec.Record(trace.Event{
+		Kind: kind, Involved: 2, CollOp: -1,
+		Peer: int32(peer), Tag: int32(info.Tag), Size: int64(info.Size),
+		Enter: info.Start, Exit: info.End,
+		RelA: int64(info.Src), RelB: info.SendSeq,
+	})
+}
+
+func (c *Comm) recordColl(info sim.CollInfo) {
+	if c.st.rec == nil {
+		return
+	}
+	c.st.rec.Record(trace.Event{
+		Kind: trace.Collective, Involved: int32(len(info.Members)),
+		CollOp: int8(info.Op), Peer: -1, Tag: int32(info.Ctx),
+		Size:  int64(info.Size),
+		Enter: info.Start, Exit: info.End,
+		RelA: int64(info.Ctx), RelB: int64(info.Seq),
+	})
+}
+
+// Send transmits data to dst (communicator rank) and blocks per MPI
+// semantics (eager completes locally; large messages rendezvous).
+func (c *Comm) Send(dst, tag int, data []float64) {
+	idx := c.before(trace.Send)
+	payload := append([]float64(nil), data...)
+	info := c.p.Send(c.worldPeer(dst), tag, 8*len(data), payload)
+	c.recordPtP(info)
+	c.after(trace.Send, idx)
+}
+
+// SendN transmits size bytes of pattern-only payload.
+func (c *Comm) SendN(dst, tag, size int) {
+	idx := c.before(trace.Send)
+	info := c.p.Send(c.worldPeer(dst), tag, size, nil)
+	c.recordPtP(info)
+	c.after(trace.Send, idx)
+}
+
+// Recv blocks for a matching message and returns its data and source
+// (communicator rank).
+func (c *Comm) Recv(src, tag int) ([]float64, int) {
+	idx := c.before(trace.Recv)
+	info := c.p.Recv(c.worldPeer(src), tag)
+	c.recordPtP(info)
+	c.after(trace.Recv, idx)
+	data, _ := info.Payload.([]float64)
+	return data, c.commRank(info.Src)
+}
+
+// RecvN blocks for a matching pattern-only message, returning its size
+// and source.
+func (c *Comm) RecvN(src, tag int) (int, int) {
+	idx := c.before(trace.Recv)
+	info := c.p.Recv(c.worldPeer(src), tag)
+	c.recordPtP(info)
+	c.after(trace.Recv, idx)
+	return info.Size, c.commRank(info.Src)
+}
+
+// Request identifies an outstanding nonblocking operation.
+type Request struct {
+	id   int
+	kind trace.Kind
+	idx  int64
+}
+
+// Isend starts a nonblocking send.
+func (c *Comm) Isend(dst, tag int, data []float64) Request {
+	idx := c.before(trace.Send)
+	payload := append([]float64(nil), data...)
+	id := c.p.Isend(c.worldPeer(dst), tag, 8*len(data), payload)
+	c.after(trace.Send, idx)
+	return Request{id: id, kind: trace.Send, idx: idx}
+}
+
+// IsendN starts a nonblocking pattern-only send.
+func (c *Comm) IsendN(dst, tag, size int) Request {
+	idx := c.before(trace.Send)
+	id := c.p.Isend(c.worldPeer(dst), tag, size, nil)
+	c.after(trace.Send, idx)
+	return Request{id: id, kind: trace.Send, idx: idx}
+}
+
+// Irecv posts a nonblocking receive.
+func (c *Comm) Irecv(src, tag int) Request {
+	idx := c.before(trace.Recv)
+	id := c.p.Irecv(c.worldPeer(src), tag)
+	c.after(trace.Recv, idx)
+	return Request{id: id, kind: trace.Recv, idx: idx}
+}
+
+// Wait completes the given requests and returns the received payloads
+// (nil entries for sends), in argument order.
+func (c *Comm) Wait(reqs ...Request) [][]float64 {
+	if len(reqs) == 0 {
+		return nil
+	}
+	ids := make([]int, len(reqs))
+	for i, r := range reqs {
+		ids[i] = r.id
+	}
+	infos := c.p.Wait(ids...)
+	// Record the batch in canonical order — sends first, then
+	// receives, each in request order. Completion order would be
+	// machine-dependent (the nondeterminism PAS2P ordering exists to
+	// remove), and recording a receive ahead of the batch's sends can
+	// create cycles in the logical-ordering traversal when the peer
+	// does the same.
+	order := make([]int, 0, len(infos))
+	for i := range infos {
+		if infos[i].IsSend {
+			order = append(order, i)
+		}
+	}
+	for i := range infos {
+		if !infos[i].IsSend {
+			order = append(order, i)
+		}
+	}
+	for _, i := range order {
+		c.recordPtP(infos[i])
+	}
+	out := make([][]float64, len(infos))
+	for i, info := range infos {
+		if !info.IsSend {
+			data, _ := info.Payload.([]float64)
+			out[i] = data
+		}
+	}
+	return out
+}
+
+// Sendrecv posts a receive, sends, and waits for both — the safe
+// symmetric-exchange primitive.
+func (c *Comm) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
+	r := c.Irecv(src, recvTag)
+	s := c.Isend(dst, sendTag, data)
+	res := c.Wait(r, s)
+	return res[0]
+}
+
+// SendrecvN is the pattern-only variant of Sendrecv.
+func (c *Comm) SendrecvN(dst, sendTag, sendSize, src, recvTag int) {
+	r := c.Irecv(src, recvTag)
+	s := c.IsendN(dst, sendTag, sendSize)
+	c.Wait(r, s)
+}

@@ -1,0 +1,182 @@
+// Package network models the communication costs of a cluster
+// interconnect. It provides parameterised point-to-point timing (a
+// LogGP-style latency/bandwidth/overhead model with eager and
+// rendezvous protocols) and analytic cost formulas for the collective
+// algorithms used by common MPI implementations. All results are
+// virtual-time durations consumed by the simulation engine; the
+// constants for concrete fabrics (Gigabit Ethernet, InfiniBand,
+// intra-node shared memory) live in package machine.
+package network
+
+import (
+	"math"
+
+	"pas2p/internal/vtime"
+)
+
+// Params describes one communication path class (e.g. inter-node
+// Gigabit Ethernet, or intra-node shared memory).
+type Params struct {
+	// Latency is the end-to-end zero-byte message latency (the "L"
+	// of LogGP).
+	Latency vtime.Duration
+	// Bandwidth is the sustained network bandwidth in bytes/second
+	// (1/G per byte).
+	Bandwidth float64
+	// SendOverhead / RecvOverhead are the CPU times a process is busy
+	// initiating or completing a transfer (the "o" of LogGP).
+	SendOverhead vtime.Duration
+	RecvOverhead vtime.Duration
+	// InjectionBandwidth is the rate (bytes/second) at which the
+	// sending CPU serialises a message into the fabric; the sender is
+	// busy for size/InjectionBandwidth after SendOverhead. It is
+	// usually several times Bandwidth (memory-copy speed).
+	InjectionBandwidth float64
+	// EagerLimit is the message size (bytes) up to which the eager
+	// protocol applies; larger messages use rendezvous and cannot
+	// complete before the receive is posted.
+	EagerLimit int
+}
+
+// Valid reports whether the parameters are physically meaningful.
+func (p Params) Valid() bool {
+	return p.Bandwidth > 0 && p.InjectionBandwidth > 0 &&
+		p.Latency >= 0 && p.SendOverhead >= 0 && p.RecvOverhead >= 0 &&
+		p.EagerLimit >= 0
+}
+
+// TransferTime is the wire serialisation time of size bytes.
+func (p Params) TransferTime(size int) vtime.Duration {
+	return rate(size, p.Bandwidth)
+}
+
+// InjectTime is the sender-side CPU serialisation time of size bytes.
+func (p Params) InjectTime(size int) vtime.Duration {
+	return rate(size, p.InjectionBandwidth)
+}
+
+func rate(size int, bytesPerSec float64) vtime.Duration {
+	if size <= 0 {
+		return 0
+	}
+	return vtime.Duration(math.Round(float64(size) / bytesPerSec * 1e9))
+}
+
+// P2PResult carries the timing of one point-to-point message.
+type P2PResult struct {
+	// SenderDone is when the sending process may proceed.
+	SenderDone vtime.Time
+	// Arrival is when the full message is available at the receiver;
+	// a receive posted at tr completes at max(tr, Arrival)+RecvOverhead.
+	Arrival vtime.Time
+}
+
+// Eager returns the timing of an eager-protocol message injected at
+// sendStart. The sender is busy for SendOverhead + InjectTime and then
+// proceeds; the message lands Latency + TransferTime after injection
+// begins.
+func (p Params) Eager(sendStart vtime.Time, size int) P2PResult {
+	inject := p.SendOverhead + p.InjectTime(size)
+	return P2PResult{
+		SenderDone: sendStart.Add(inject),
+		Arrival:    sendStart.Add(p.SendOverhead + p.Latency + p.TransferTime(size)),
+	}
+}
+
+// Rendezvous returns the timing of a rendezvous-protocol message whose
+// send was posted at sendStart and whose matching receive was posted
+// at recvPost. The ready-to-send / clear-to-send handshake costs two
+// latencies; data then moves at wire bandwidth.
+func (p Params) Rendezvous(sendStart, recvPost vtime.Time, size int) P2PResult {
+	// RTS arrives at sendStart+o+L; CTS leaves once the receive is
+	// posted and arrives one latency later.
+	rts := sendStart.Add(p.SendOverhead + p.Latency)
+	cts := vtime.Max(rts, recvPost).Add(p.Latency)
+	return P2PResult{
+		SenderDone: cts.Add(p.SendOverhead + p.InjectTime(size)),
+		Arrival:    cts.Add(p.SendOverhead + p.Latency + p.TransferTime(size)),
+	}
+}
+
+// CollectiveOp enumerates the modelled collective operations.
+type CollectiveOp int
+
+const (
+	Barrier CollectiveOp = iota
+	Bcast
+	Reduce
+	Allreduce
+	Gather
+	Scatter
+	Allgather
+	Alltoall
+)
+
+var collectiveNames = [...]string{
+	"Barrier", "Bcast", "Reduce", "Allreduce",
+	"Gather", "Scatter", "Allgather", "Alltoall",
+}
+
+func (op CollectiveOp) String() string {
+	if op < 0 || int(op) >= len(collectiveNames) {
+		return "Collective(?)"
+	}
+	return collectiveNames[op]
+}
+
+// log2ceil returns ceil(log2(p)) for p >= 1.
+func log2ceil(p int) int {
+	n, v := 0, 1
+	for v < p {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+// CollectiveCost returns the duration of a collective over procs
+// participants exchanging size bytes per process, measured from the
+// instant the last participant arrives. The formulas follow the
+// standard algorithms (binomial trees for rooted ops,
+// recursive-doubling/Rabenseifner for allreduce, ring allgather,
+// pairwise exchange alltoall, dissemination barrier).
+func (p Params) CollectiveCost(op CollectiveOp, procs, size int) vtime.Duration {
+	if procs <= 1 {
+		if op == Barrier {
+			return 0
+		}
+		return p.SendOverhead + p.RecvOverhead
+	}
+	lg := vtime.Duration(log2ceil(procs))
+	step := p.Latency + p.SendOverhead + p.RecvOverhead
+	n := float64(size)
+	pf := float64(procs)
+	switch op {
+	case Barrier:
+		// Dissemination barrier: ceil(log2 P) zero-byte rounds.
+		return lg * step
+	case Bcast:
+		// Binomial tree: ceil(log2 P) rounds of the full payload.
+		return lg * (step + p.TransferTime(size))
+	case Reduce:
+		// Binomial tree plus a per-byte combine cost folded into the
+		// receive path (modelled as one extra transfer of the payload).
+		return lg*(step+p.TransferTime(size)) + p.TransferTime(size)/2
+	case Allreduce:
+		// Rabenseifner: reduce-scatter + allgather,
+		// 2·log2(P)·step + 2·(P-1)/P·n/B.
+		return 2*lg*step + rate(int(2*(pf-1)/pf*n), p.Bandwidth)
+	case Gather, Scatter:
+		// Binomial tree; total data crossing the root link is
+		// (P-1)/P of the aggregate payload.
+		return lg*step + rate(int((pf-1)*n), p.Bandwidth)
+	case Allgather:
+		// Ring: (P-1) steps of each process's block.
+		return vtime.Duration(procs-1)*step + rate(int((pf-1)*n), p.Bandwidth)
+	case Alltoall:
+		// Pairwise exchange: (P-1) steps of one block each.
+		return vtime.Duration(procs-1) * (step + p.TransferTime(size))
+	default:
+		return step
+	}
+}

@@ -1,0 +1,171 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pas2p/internal/vtime"
+)
+
+func testParams() Params {
+	return Params{
+		Latency:            50 * vtime.Microsecond,
+		Bandwidth:          118e6,
+		SendOverhead:       2 * vtime.Microsecond,
+		RecvOverhead:       2 * vtime.Microsecond,
+		InjectionBandwidth: 500e6,
+		EagerLimit:         64 << 10,
+	}
+}
+
+func TestParamsValid(t *testing.T) {
+	if !testParams().Valid() {
+		t.Error("testParams should be valid")
+	}
+	bad := testParams()
+	bad.Bandwidth = 0
+	if bad.Valid() {
+		t.Error("zero bandwidth should be invalid")
+	}
+	bad = testParams()
+	bad.Latency = -1
+	if bad.Valid() {
+		t.Error("negative latency should be invalid")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := testParams()
+	if p.TransferTime(0) != 0 {
+		t.Error("zero bytes should cost nothing on the wire")
+	}
+	// 118 MB at 118 MB/s = 1 s.
+	if got := p.TransferTime(118e6); got != vtime.Second {
+		t.Errorf("TransferTime(118MB) = %v, want 1s", got)
+	}
+	if p.TransferTime(-5) != 0 {
+		t.Error("negative size should clamp to zero")
+	}
+}
+
+func TestEagerTiming(t *testing.T) {
+	p := testParams()
+	r := p.Eager(0, 1000)
+	if r.SenderDone != vtime.Time(p.SendOverhead+p.InjectTime(1000)) {
+		t.Errorf("SenderDone = %v", r.SenderDone)
+	}
+	wantArrival := vtime.Time(p.SendOverhead + p.Latency + p.TransferTime(1000))
+	if r.Arrival != wantArrival {
+		t.Errorf("Arrival = %v, want %v", r.Arrival, wantArrival)
+	}
+	if r.SenderDone >= r.Arrival {
+		t.Error("eager sender should finish before the message lands")
+	}
+}
+
+func TestRendezvousWaitsForReceiver(t *testing.T) {
+	p := testParams()
+	early := p.Rendezvous(0, 0, 1<<20)
+	late := p.Rendezvous(0, vtime.Time(10*vtime.Millisecond), 1<<20)
+	if late.Arrival <= early.Arrival {
+		t.Error("rendezvous arrival must be delayed by a late receive post")
+	}
+	if late.SenderDone <= early.SenderDone {
+		t.Error("rendezvous sender must be delayed by a late receive post")
+	}
+}
+
+func TestRendezvousVsEagerOrdering(t *testing.T) {
+	p := testParams()
+	// With the receive already posted, rendezvous still pays the
+	// handshake, so it must be slower than eager for the same size.
+	e := p.Eager(0, 4096)
+	r := p.Rendezvous(0, 0, 4096)
+	if r.Arrival <= e.Arrival {
+		t.Error("rendezvous handshake should add latency over eager")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 64: 6, 65: 7, 1024: 10}
+	for in, want := range cases {
+		if got := log2ceil(in); got != want {
+			t.Errorf("log2ceil(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestCollectiveCostMonotoneInProcs(t *testing.T) {
+	p := testParams()
+	ops := []CollectiveOp{Barrier, Bcast, Reduce, Allreduce, Gather, Scatter, Allgather, Alltoall}
+	for _, op := range ops {
+		prev := vtime.Duration(-1)
+		for _, procs := range []int{2, 4, 16, 64, 256} {
+			c := p.CollectiveCost(op, procs, 8192)
+			if c <= 0 {
+				t.Errorf("%v cost with %d procs should be positive", op, procs)
+			}
+			if c < prev {
+				t.Errorf("%v cost decreased from %v to %v going to %d procs", op, prev, c, procs)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestCollectiveCostSingleProc(t *testing.T) {
+	p := testParams()
+	if p.CollectiveCost(Barrier, 1, 0) != 0 {
+		t.Error("single-proc barrier should be free")
+	}
+	if p.CollectiveCost(Bcast, 1, 100) <= 0 {
+		t.Error("single-proc bcast should still cost local overhead")
+	}
+}
+
+func TestCollectiveNames(t *testing.T) {
+	if Allreduce.String() != "Allreduce" || Barrier.String() != "Barrier" {
+		t.Error("collective names wrong")
+	}
+	if CollectiveOp(99).String() != "Collective(?)" {
+		t.Error("out-of-range collective should stringify safely")
+	}
+}
+
+// Property: point-to-point timings are monotone in message size and in
+// start time, and never place arrival before the send started.
+func TestQuickP2PMonotone(t *testing.T) {
+	p := testParams()
+	err := quick.Check(func(start int64, sz1, sz2 uint16) bool {
+		ts := vtime.Time(start % 1e12)
+		if ts < 0 {
+			ts = -ts
+		}
+		a, b := int(sz1), int(sz2)
+		if a > b {
+			a, b = b, a
+		}
+		ra, rb := p.Eager(ts, a), p.Eager(ts, b)
+		if rb.Arrival < ra.Arrival || rb.SenderDone < ra.SenderDone {
+			return false
+		}
+		return ra.Arrival >= ts && ra.SenderDone >= ts
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Alltoall over P procs costs at least as much as Bcast of
+// one block for any size (it moves strictly more data).
+func TestQuickAlltoallDominatesBcast(t *testing.T) {
+	p := testParams()
+	err := quick.Check(func(procs uint8, size uint16) bool {
+		pr := int(procs)%255 + 2
+		return p.CollectiveCost(Alltoall, pr, int(size)) >=
+			p.CollectiveCost(Bcast, pr, int(size))/vtime.Duration(log2ceil(pr)+1)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

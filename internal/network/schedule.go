@@ -1,0 +1,197 @@
+package network
+
+import (
+	"pas2p/internal/vtime"
+)
+
+// CollectiveSchedule computes per-member completion offsets for a
+// collective by walking the rounds of the standard algorithm (binomial
+// trees for rooted operations, recursive doubling for barriers and
+// allreduce, a ring for allgather, pairwise exchange for alltoall),
+// with each pairwise step costed by the actual path between the two
+// members. Offsets are relative to the instant the last member arrives;
+// the engine's algorithmic-collectives mode wakes each member at its
+// own offset instead of a uniform analytic cost, which produces the
+// per-rank skew real collectives exhibit on mixed intra-/inter-node
+// member sets.
+//
+// members carries world ranks; rootIdx indexes into members. path maps
+// two world ranks to their connecting parameters.
+func CollectiveSchedule(op CollectiveOp, members []int, rootIdx, size int,
+	path func(a, b int) Params) []vtime.Duration {
+	n := len(members)
+	done := make([]vtime.Duration, n)
+	if n <= 1 {
+		return done
+	}
+	step := func(a, b int, bytes int) vtime.Duration {
+		p := path(members[a], members[b])
+		return p.Latency + p.SendOverhead + p.RecvOverhead + p.TransferTime(bytes)
+	}
+	sync2 := func(a, b int, bytes int) {
+		t := done[a]
+		if done[b] > t {
+			t = done[b]
+		}
+		t += step(a, b, bytes)
+		done[a], done[b] = t, t
+	}
+
+	switch op {
+	case Barrier:
+		recursiveDoubling(done, n, func(a, b int) { sync2(a, b, 0) })
+	case Allreduce:
+		// Recursive doubling with the payload in both directions.
+		recursiveDoubling(done, n, func(a, b int) { sync2(a, b, size) })
+	case Bcast:
+		binomialDown(done, n, rootIdx, func(parent, child int) {
+			t := done[parent] + step(parent, child, size)
+			if t > done[child] {
+				done[child] = t
+			}
+		})
+	case Reduce:
+		binomialUp(done, n, rootIdx, func(child, parent int) {
+			t := done[child] + step(child, parent, size)
+			if t > done[parent] {
+				done[parent] = t
+			}
+		})
+	case Scatter:
+		// Binomial tree; a parent forwards the blocks of its whole
+		// subtree, so early rounds carry more data.
+		binomialDownSized(done, n, rootIdx, size, step)
+	case Gather:
+		binomialUpSized(done, n, rootIdx, size, step)
+	case Allgather:
+		// Ring: n-1 rounds, each member exchanges one block with its
+		// ring neighbours.
+		for r := 0; r < n-1; r++ {
+			next := make([]vtime.Duration, n)
+			for i := 0; i < n; i++ {
+				from := (i + n - 1) % n
+				t := done[i]
+				if done[from] > t {
+					t = done[from]
+				}
+				next[i] = t + step(from, i, size)
+			}
+			copy(done, next)
+		}
+	case Alltoall:
+		// Pairwise exchange: n-1 rounds, partner (i+r) mod n.
+		for r := 1; r < n; r++ {
+			next := make([]vtime.Duration, n)
+			for i := 0; i < n; i++ {
+				j := (i + r) % n
+				t := done[i]
+				if done[j] > t {
+					t = done[j]
+				}
+				next[i] = t + step(i, j, size)
+			}
+			copy(done, next)
+		}
+	default:
+		for i := range done {
+			done[i] = step(0, i%n, size)
+		}
+	}
+	return done
+}
+
+// recursiveDoubling runs ceil(log2 n) rounds of pairwise
+// synchronisation; non-power-of-two tails fold into the main group
+// before the rounds and unfold after.
+func recursiveDoubling(done []vtime.Duration, n int, sync func(a, b int)) {
+	pow2 := 1
+	for pow2*2 <= n {
+		pow2 *= 2
+	}
+	rem := n - pow2
+	// Fold: extras send into their partner in the power-of-two group.
+	for i := 0; i < rem; i++ {
+		sync(pow2+i, i)
+	}
+	for k := 1; k < pow2; k *= 2 {
+		for i := 0; i < pow2; i++ {
+			j := i ^ k
+			if i < j {
+				sync(i, j)
+			}
+		}
+	}
+	// Unfold: partners release the extras.
+	for i := 0; i < rem; i++ {
+		sync(i, pow2+i)
+	}
+}
+
+// binomialDown walks a binomial broadcast tree from rootIdx.
+func binomialDown(done []vtime.Duration, n, rootIdx int, edge func(parent, child int)) {
+	// Relabel so the root is virtual index 0.
+	rel := func(v int) int { return (v + rootIdx) % n }
+	for k := 1; k < n; k *= 2 {
+		for v := 0; v < k && v+k < n; v++ {
+			edge(rel(v), rel(v+k))
+		}
+	}
+}
+
+// binomialUp walks the reduction tree toward rootIdx.
+func binomialUp(done []vtime.Duration, n, rootIdx int, edge func(child, parent int)) {
+	rel := func(v int) int { return (v + rootIdx) % n }
+	// Highest power of two below n.
+	top := 1
+	for top*2 < n {
+		top *= 2
+	}
+	for k := top; k >= 1; k /= 2 {
+		for v := 0; v < k && v+k < n; v++ {
+			edge(rel(v+k), rel(v))
+		}
+	}
+}
+
+// binomialDownSized is Scatter: each edge carries the child subtree's
+// aggregate block volume.
+func binomialDownSized(done []vtime.Duration, n, rootIdx, blockSize int,
+	step func(a, b, bytes int) vtime.Duration) {
+	rel := func(v int) int { return (v + rootIdx) % n }
+	for k := 1; k < n; k *= 2 {
+		for v := 0; v < k && v+k < n; v++ {
+			subtree := k
+			if v+2*k > n {
+				subtree = n - (v + k)
+			}
+			p, c := rel(v), rel(v+k)
+			t := done[p] + step(p, c, blockSize*subtree)
+			if t > done[c] {
+				done[c] = t
+			}
+		}
+	}
+}
+
+// binomialUpSized is Gather: mirrored volumes toward the root.
+func binomialUpSized(done []vtime.Duration, n, rootIdx, blockSize int,
+	step func(a, b, bytes int) vtime.Duration) {
+	rel := func(v int) int { return (v + rootIdx) % n }
+	top := 1
+	for top*2 < n {
+		top *= 2
+	}
+	for k := top; k >= 1; k /= 2 {
+		for v := 0; v < k && v+k < n; v++ {
+			subtree := k
+			if v+2*k > n {
+				subtree = n - (v + k)
+			}
+			c, p := rel(v+k), rel(v)
+			t := done[c] + step(c, p, blockSize*subtree)
+			if t > done[p] {
+				done[p] = t
+			}
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pas2p/internal/vtime"
+)
+
+// uniformPath treats all pairs alike.
+func uniformPath(p Params) func(a, b int) Params {
+	return func(a, b int) Params { return p }
+}
+
+func TestScheduleSinglePair(t *testing.T) {
+	p := testParams()
+	members := []int{0, 1}
+	off := CollectiveSchedule(Bcast, members, 0, 1024, uniformPath(p))
+	if off[0] != 0 {
+		t.Errorf("bcast root offset = %v, want 0", off[0])
+	}
+	want := p.Latency + p.SendOverhead + p.RecvOverhead + p.TransferTime(1024)
+	if off[1] != want {
+		t.Errorf("bcast leaf offset = %v, want %v", off[1], want)
+	}
+}
+
+func TestScheduleSingleMember(t *testing.T) {
+	off := CollectiveSchedule(Allreduce, []int{3}, 0, 64, uniformPath(testParams()))
+	if len(off) != 1 || off[0] != 0 {
+		t.Errorf("single member should be free: %v", off)
+	}
+}
+
+func TestScheduleBcastTreeDepth(t *testing.T) {
+	// Binomial broadcast over 8 uniform members: max depth = 3 rounds.
+	p := testParams()
+	off := CollectiveSchedule(Bcast, members8(), 0, 4096, uniformPath(p))
+	stepCost := p.Latency + p.SendOverhead + p.RecvOverhead + p.TransferTime(4096)
+	var max vtime.Duration
+	for _, o := range off {
+		if o > max {
+			max = o
+		}
+	}
+	if max != 3*stepCost {
+		t.Errorf("bcast depth = %v, want 3 steps (%v)", max, 3*stepCost)
+	}
+	if off[0] != 0 {
+		t.Error("root must finish immediately")
+	}
+}
+
+func members8() []int { return []int{0, 1, 2, 3, 4, 5, 6, 7} }
+
+func TestScheduleAllreduceSymmetric(t *testing.T) {
+	// Recursive doubling over a power of two: every member ends equal.
+	off := CollectiveSchedule(Allreduce, members8(), 0, 512, uniformPath(testParams()))
+	for i := 1; i < len(off); i++ {
+		if off[i] != off[0] {
+			t.Fatalf("allreduce offsets uneven: %v", off)
+		}
+	}
+	if off[0] <= 0 {
+		t.Error("allreduce must cost time")
+	}
+}
+
+func TestScheduleAllreduceNonPow2(t *testing.T) {
+	off := CollectiveSchedule(Allreduce, []int{0, 1, 2, 3, 4, 5}, 0, 512, uniformPath(testParams()))
+	for _, o := range off {
+		if o <= 0 {
+			t.Fatalf("non-pow2 allreduce left a free member: %v", off)
+		}
+	}
+}
+
+func TestScheduleReduceRootLast(t *testing.T) {
+	// In a reduction the root finishes no earlier than any leaf sender.
+	off := CollectiveSchedule(Reduce, members8(), 2, 1024, uniformPath(testParams()))
+	root := off[2]
+	for i, o := range off {
+		if i != 2 && o > root {
+			t.Errorf("member %d (%v) finishes after the reduce root (%v)", i, o, root)
+		}
+	}
+	if root <= 0 {
+		t.Error("reduce root must pay the tree")
+	}
+}
+
+func TestScheduleMixedPathsSkew(t *testing.T) {
+	// Members 0,1 connected by a fast path, the rest by a slow one:
+	// the bcast leaves on the slow path must finish later than the
+	// fast-path leaf.
+	fast := testParams()
+	fast.Latency = 1 * vtime.Microsecond
+	slow := testParams()
+	slow.Latency = 100 * vtime.Microsecond
+	path := func(a, b int) Params {
+		if a < 2 && b < 2 {
+			return fast
+		}
+		return slow
+	}
+	off := CollectiveSchedule(Bcast, []int{0, 1, 2, 3}, 0, 0, path)
+	if off[1] >= off[2] && off[1] >= off[3] {
+		t.Errorf("fast-path leaf should beat slow leaves: %v", off)
+	}
+}
+
+func TestScheduleAlltoallHeavier(t *testing.T) {
+	p := testParams()
+	a2a := CollectiveSchedule(Alltoall, members8(), 0, 4096, uniformPath(p))
+	bc := CollectiveSchedule(Bcast, members8(), 0, 4096, uniformPath(p))
+	var maxA, maxB vtime.Duration
+	for i := range a2a {
+		if a2a[i] > maxA {
+			maxA = a2a[i]
+		}
+		if bc[i] > maxB {
+			maxB = bc[i]
+		}
+	}
+	if maxA <= maxB {
+		t.Errorf("alltoall (%v) should cost more than bcast (%v)", maxA, maxB)
+	}
+}
+
+// Property: schedules are deterministic and non-negative for any op,
+// member count and size.
+func TestQuickScheduleSane(t *testing.T) {
+	p := testParams()
+	err := quick.Check(func(opRaw, nRaw uint8, size uint16) bool {
+		op := CollectiveOp(int(opRaw) % 8)
+		n := int(nRaw)%16 + 1
+		members := make([]int, n)
+		for i := range members {
+			members[i] = i
+		}
+		o1 := CollectiveSchedule(op, members, 0, int(size), uniformPath(p))
+		o2 := CollectiveSchedule(op, members, 0, int(size), uniformPath(p))
+		for i := range o1 {
+			if o1[i] < 0 || o1[i] != o2[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

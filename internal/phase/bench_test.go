@@ -1,0 +1,73 @@
+package phase
+
+import (
+	"testing"
+
+	"pas2p/internal/logical"
+	"pas2p/internal/machine"
+	"pas2p/internal/mpi"
+)
+
+func benchLogical(b *testing.B, procs, iters int) *logical.Logical {
+	b.Helper()
+	d, err := machine.NewDeployment(machine.ClusterC(), procs, machine.MapBlock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := mpi.Run(mpi.App{Name: "bench", Procs: procs, Body: func(c *mpi.Comm) {
+		n := c.Size()
+		if c.Rank() == 0 {
+			for s := 1; s < n; s++ {
+				c.SendN(s, 99, 4096)
+			}
+		} else {
+			c.RecvN(0, 99)
+		}
+		c.Barrier()
+		for i := 0; i < iters; i++ {
+			c.Compute(1e4)
+			c.SendrecvN((c.Rank()+1)%n, 0, 1024, (c.Rank()+n-1)%n, 0)
+			c.Allreduce([]float64{1}, mpi.Sum)
+		}
+	}}, mpi.RunConfig{Deployment: d, Trace: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := logical.Order(res.Trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkExtract measures §3.3 phase extraction on a 32-rank trace.
+func BenchmarkExtract(b *testing.B) {
+	l := benchLogical(b, 32, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := Extract(l, DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(len(a.Phases)), "phases")
+		}
+	}
+}
+
+// BenchmarkBuildTable measures phase-table construction.
+func BenchmarkBuildTable(b *testing.B) {
+	l := benchLogical(b, 32, 100)
+	a, err := Extract(l, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.BuildTable(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,414 @@
+// Package phase implements PAS2P's pattern identification (§3.3 of the
+// paper): it walks the logical trace tick by tick, cutting it into
+// phases — maximal windows that end where communication behaviour
+// starts repeating — and folds recurring windows into a single phase
+// with a weight (its occurrence count) using the paper's similarity
+// relation (same tick span; per-event: same communication type,
+// similar volume, computational time within 85 percent; a phase is
+// similar when at least 80 percent of its events are). Phases whose
+// weight times execution time reaches 1 percent of the application
+// execution time are relevant and become the signature's content.
+package phase
+
+import (
+	"fmt"
+	"sort"
+
+	"pas2p/internal/logical"
+	"pas2p/internal/vtime"
+)
+
+// Config holds the similarity and relevance knobs; the paper's values
+// are the defaults and the ablation benches sweep them.
+type Config struct {
+	// EventSimilarity is the fraction of events that must be similar
+	// for two windows to be the same phase (paper: 0.80).
+	EventSimilarity float64
+	// ComputeSimilarity is the minimum ratio between two events'
+	// computational times for them to compare similar (paper: 0.85).
+	ComputeSimilarity float64
+	// VolumeSimilarity is the minimum ratio between two events'
+	// communication volumes (the paper folds this into "similar
+	// communication"; we default it to the same 0.85).
+	VolumeSimilarity float64
+	// RelevanceFraction is the share of the application execution time
+	// a phase must account for to be relevant (paper: 0.01).
+	RelevanceFraction float64
+}
+
+// DefaultConfig returns the paper's parameter values.
+func DefaultConfig() Config {
+	return Config{
+		EventSimilarity:   0.80,
+		ComputeSimilarity: 0.85,
+		VolumeSimilarity:  0.85,
+		RelevanceFraction: 0.01,
+	}
+}
+
+func (c Config) validate() error {
+	for _, v := range []float64{c.EventSimilarity, c.ComputeSimilarity, c.VolumeSimilarity} {
+		if v <= 0 || v > 1 {
+			return fmt.Errorf("phase: similarity thresholds must be in (0,1], got %v", v)
+		}
+	}
+	if c.RelevanceFraction < 0 || c.RelevanceFraction >= 1 {
+		return fmt.Errorf("phase: relevance fraction %v out of range", c.RelevanceFraction)
+	}
+	return nil
+}
+
+// Cell is one (tick offset, process) slot of a phase's behaviour
+// matrix. An absent cell is the paper's communication "type 0".
+type Cell struct {
+	Present bool
+	Sig     uint64
+	Size    int64
+	Compute vtime.Duration
+}
+
+// Occurrence is one concrete appearance of a phase in the trace.
+type Occurrence struct {
+	// StartTick (inclusive) and EndTick (exclusive) delimit the window.
+	StartTick, EndTick int
+	// Dur is the physical duration the occurrence accounted for on the
+	// base machine (the occurrence cuts tile the whole run).
+	Dur vtime.Duration
+}
+
+// Phase is one recurring behaviour pattern.
+type Phase struct {
+	// ID numbers phases in discovery order, starting at 1 as in the
+	// paper's phase tables.
+	ID int
+	// TickLen is the window length in ticks.
+	TickLen int
+	// Cells is the representative behaviour matrix of the first
+	// occurrence, indexed [tick offset][process].
+	Cells [][]Cell
+	// Events is the number of present cells (the event count used by
+	// the similarity percentage).
+	Events int
+	// Occurrences lists every appearance, in trace order. Weight (the
+	// paper's term) is len(Occurrences).
+	Occurrences []Occurrence
+}
+
+// Weight is the number of times the phase occurs.
+func (p *Phase) Weight() int { return len(p.Occurrences) }
+
+// TotalDur is the physical time the phase accounts for on the base
+// machine, summed over occurrences.
+func (p *Phase) TotalDur() vtime.Duration {
+	var d vtime.Duration
+	for _, o := range p.Occurrences {
+		d += o.Dur
+	}
+	return d
+}
+
+// MeanET is the phase execution time: the mean occurrence duration.
+func (p *Phase) MeanET() vtime.Duration {
+	if len(p.Occurrences) == 0 {
+		return 0
+	}
+	return p.TotalDur() / vtime.Duration(len(p.Occurrences))
+}
+
+// Analysis is the result of phase extraction over one logical trace.
+type Analysis struct {
+	Logical *logical.Logical
+	Config  Config
+	Phases  []*Phase
+	// AET is the base-machine application execution time the relevance
+	// rule is measured against.
+	AET vtime.Duration
+}
+
+// Relevant returns the phases whose weight times execution time is at
+// least the configured fraction of the application execution time.
+func (a *Analysis) Relevant() []*Phase {
+	var out []*Phase
+	threshold := float64(a.AET) * a.Config.RelevanceFraction
+	for _, p := range a.Phases {
+		if float64(p.TotalDur()) >= threshold {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Extract runs the §3.3 algorithm over a logical trace.
+func Extract(l *logical.Logical, cfg Config) (*Analysis, error) {
+	return ExtractWithLog(l, cfg, nil)
+}
+
+// ExtractWithLog runs the extraction while narrating each step of the
+// paper's Fig. 6 algorithm (startpoints, repeat detections, 4a/4b
+// decisions, folds) through logf. A nil logf disables narration.
+func ExtractWithLog(l *logical.Logical, cfg Config, logf func(format string, args ...any)) (*Analysis, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if l == nil || l.NumTicks() == 0 {
+		return nil, fmt.Errorf("phase: empty logical trace")
+	}
+	x := &extractor{
+		l:    l,
+		cfg:  cfg,
+		an:   &Analysis{Logical: l, Config: cfg, AET: l.Trace.AET},
+		cuts: buildCuts(l),
+		logf: logf,
+	}
+	x.run()
+	return x.an, nil
+}
+
+// buildCuts returns cut[t] = the physical completion time of everything
+// at ticks < t (a running max of event exits). Occurrence durations are
+// cut deltas, so phase durations tile the run exactly.
+func buildCuts(l *logical.Logical) []vtime.Time {
+	cuts := make([]vtime.Time, l.NumTicks()+1)
+	var hw vtime.Time
+	for t := 0; t < l.NumTicks(); t++ {
+		cuts[t] = hw
+		for _, s := range l.Ticks[t] {
+			if e := l.Trace.Events[s.Event].Exit; e > hw {
+				hw = e
+			}
+		}
+	}
+	cuts[l.NumTicks()] = hw
+	return cuts
+}
+
+type extractor struct {
+	l    *logical.Logical
+	cfg  Config
+	an   *Analysis
+	cuts []vtime.Time
+	logf func(format string, args ...any)
+}
+
+func (x *extractor) log(format string, args ...any) {
+	if x.logf != nil {
+		x.logf(format, args...)
+	}
+}
+
+// run scans the tick axis: grow a window from the current startpoint
+// until some process repeats a communication type it already showed in
+// the window; then close one or two phases exactly as the paper's
+// steps 4a/4b prescribe and restart from the repeat boundary.
+func (x *extractor) run() {
+	nTicks := x.l.NumTicks()
+	start := 0
+	// firstSeen[p] maps a process's comm signature to the tick of its
+	// first occurrence within the current window.
+	firstSeen := make([]map[uint64]int, x.l.Trace.Procs)
+	reset := func() {
+		for p := range firstSeen {
+			firstSeen[p] = nil
+		}
+	}
+	reset()
+	for t := 0; t < nTicks; t++ {
+		// Find the repeated event at this tick with the earliest first
+		// occurrence, if any (deterministic: ticks are process-sorted).
+		repeatFirst := -1
+		for _, s := range x.l.Ticks[t] {
+			e := &x.l.Trace.Events[s.Event]
+			sig := e.CommSignature()
+			m := firstSeen[s.Proc]
+			if m == nil {
+				m = make(map[uint64]int)
+				firstSeen[s.Proc] = m
+			}
+			if ft, ok := m[sig]; ok {
+				if repeatFirst < 0 || ft < repeatFirst {
+					repeatFirst = ft
+				}
+				continue
+			}
+			m[sig] = t
+		}
+		if repeatFirst < 0 {
+			continue // step 3: keep growing
+		}
+		if repeatFirst == start {
+			// Step 4a: one full period [start, t).
+			x.log("tick %d: repeat of the startpoint event -> step 4a, close phase [%d,%d)", t, start, t)
+			x.savePhase(start, t)
+		} else {
+			// Step 4b: partition into phase a and phase b.
+			x.log("tick %d: repeat of tick-%d event -> step 4b, partition into [%d,%d) and [%d,%d)",
+				t, repeatFirst, start, repeatFirst, repeatFirst, t)
+			x.savePhase(start, repeatFirst)
+			x.savePhase(repeatFirst, t)
+		}
+		// Step 6: new startpoint where the last phase ended; the
+		// repeated event at t opens the new window.
+		x.log("tick %d: new startpoint (step 6)", t)
+		start = t
+		reset()
+		for _, s := range x.l.Ticks[t] {
+			e := &x.l.Trace.Events[s.Event]
+			m := firstSeen[s.Proc]
+			if m == nil {
+				m = make(map[uint64]int)
+				firstSeen[s.Proc] = m
+			}
+			m[e.CommSignature()] = t
+		}
+	}
+	if start < nTicks {
+		x.savePhase(start, nTicks)
+	}
+}
+
+// savePhase folds the window [s,e) into an existing similar phase or
+// records a new one.
+func (x *extractor) savePhase(s, e int) {
+	if e <= s {
+		return
+	}
+	occ := Occurrence{StartTick: s, EndTick: e, Dur: x.cuts[e].Sub(x.cuts[s])}
+	cells, events := x.window(s, e)
+	for _, p := range x.an.Phases {
+		if x.similar(p, cells, events) {
+			p.Occurrences = append(p.Occurrences, occ)
+			x.log("  window [%d,%d) similar to phase %d -> weight %d (step 5)", s, e, p.ID, p.Weight())
+			return
+		}
+	}
+	x.an.Phases = append(x.an.Phases, &Phase{
+		ID:          len(x.an.Phases) + 1,
+		TickLen:     e - s,
+		Cells:       cells,
+		Events:      events,
+		Occurrences: []Occurrence{occ},
+	})
+	x.log("  window [%d,%d) is new -> phase %d (%d events)", s, e, len(x.an.Phases), events)
+}
+
+// window materialises the behaviour matrix of ticks [s,e).
+func (x *extractor) window(s, e int) ([][]Cell, int) {
+	procs := x.l.Trace.Procs
+	cells := make([][]Cell, e-s)
+	events := 0
+	for t := s; t < e; t++ {
+		row := make([]Cell, procs)
+		for _, sl := range x.l.Ticks[t] {
+			ev := &x.l.Trace.Events[sl.Event]
+			row[sl.Proc] = Cell{
+				Present: true,
+				Sig:     ev.CommSignature(),
+				Size:    ev.Size,
+				Compute: ev.ComputeBefore,
+			}
+			events++
+		}
+		cells[t-s] = row
+	}
+	return cells, events
+}
+
+// similar implements the paper's step 5 criteria.
+func (x *extractor) similar(p *Phase, cells [][]Cell, events int) bool {
+	if p.TickLen != len(cells) {
+		return false // 5a: tick spans must match
+	}
+	total := p.Events
+	if events > total {
+		total = events
+	}
+	if total == 0 {
+		return true
+	}
+	similarCount := 0
+	for t := range cells {
+		for pr := range cells[t] {
+			a, b := p.Cells[t][pr], cells[t][pr]
+			switch {
+			case !a.Present && !b.Present:
+				// No event on either side: not counted.
+			case !a.Present || !b.Present:
+				// 5b: "type 0" compares similar to anything.
+				similarCount++
+			default:
+				if a.Sig == b.Sig &&
+					ratioAtLeast(float64(a.Size), float64(b.Size), x.cfg.VolumeSimilarity) &&
+					ratioAtLeast(float64(a.Compute), float64(b.Compute), x.cfg.ComputeSimilarity) {
+					similarCount++
+				}
+			}
+		}
+	}
+	return float64(similarCount) >= x.cfg.EventSimilarity*float64(total)
+}
+
+// ratioAtLeast reports whether min(a,b)/max(a,b) >= threshold, treating
+// the pair (0,0) as similar.
+func ratioAtLeast(a, b, threshold float64) bool {
+	if a == b {
+		return true
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if b <= 0 {
+		return true
+	}
+	return a/b >= threshold
+}
+
+// Validate checks the tiling invariants: occurrences cover every tick
+// exactly once and durations sum to the run length.
+func (a *Analysis) Validate() error {
+	n := a.Logical.NumTicks()
+	covered := make([]int, n)
+	var total vtime.Duration
+	for _, p := range a.Phases {
+		if p.Weight() < 1 {
+			return fmt.Errorf("phase %d has no occurrences", p.ID)
+		}
+		for _, o := range p.Occurrences {
+			if o.StartTick < 0 || o.EndTick > n || o.StartTick >= o.EndTick {
+				return fmt.Errorf("phase %d occurrence [%d,%d) out of range", p.ID, o.StartTick, o.EndTick)
+			}
+			for t := o.StartTick; t < o.EndTick; t++ {
+				covered[t]++
+			}
+			total += o.Dur
+		}
+	}
+	for t, cnt := range covered {
+		if cnt != 1 {
+			return fmt.Errorf("tick %d covered %d times", t, cnt)
+		}
+	}
+	if total > a.AET+vtime.Duration(n) || total < a.AET-a.AET/100-vtime.Duration(n) {
+		return fmt.Errorf("phase durations sum to %v, application ran %v", total, a.AET)
+	}
+	return nil
+}
+
+// Summary renders the analysis like the paper's Table 3 header block.
+func (a *Analysis) Summary() string {
+	rel := a.Relevant()
+	return fmt.Sprintf("Total of phases: %d, Relevant phases: %d", len(a.Phases), len(rel))
+}
+
+// SortedByTotalDur returns phases ordered by their share of the run,
+// largest first (tie-broken by ID for determinism).
+func (a *Analysis) SortedByTotalDur() []*Phase {
+	out := append([]*Phase(nil), a.Phases...)
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := out[i].TotalDur(), out[j].TotalDur()
+		if di != dj {
+			return di > dj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

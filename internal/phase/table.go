@@ -1,0 +1,218 @@
+package phase
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"pas2p/internal/vtime"
+)
+
+// TableRow describes one phase in the phase table (the paper's Fig. 7):
+// where the designated occurrence starts and ends — expressed as
+// per-process replay positions — plus the phase id and weight. The
+// original tool keys boundaries by per-process send counts; we use
+// per-process event counts, which identify the same replay positions
+// exactly and also handle processes that receive without sending.
+type TableRow struct {
+	PhaseID int
+	Weight  int
+	// PhaseET is the mean occurrence duration on the base machine.
+	PhaseET vtime.Duration
+	// Relevant marks rows that pass the 1 percent rule; the signature
+	// is built from relevant rows only (the ablation flips this).
+	Relevant bool
+	// StartEvents[p] / EndEvents[p] are how many events process p has
+	// completed at the designated occurrence's start / end boundary.
+	StartEvents []int64
+	EndEvents   []int64
+	// Occurrence is which appearance of the phase was designated for
+	// checkpointing (0-based); the paper checkpoints after the phase
+	// has already run a few times so the machine is warm.
+	Occurrence int
+	// StartTick/EndTick are the designated occurrence's logical window,
+	// used to order signature segments and for reporting.
+	StartTick, EndTick int
+	// HasPair marks rows whose designated occurrence is immediately
+	// followed by another occurrence of the same phase. The signature
+	// then measures through both and reports the delta between their
+	// completion cuts — the marginal per-repetition cost, which keeps
+	// pipelined (wavefront) phases from charging their pipeline fill
+	// to every weighted repetition. End2Events[p] is the second
+	// occurrence's end boundary.
+	HasPair    bool
+	End2Events []int64
+}
+
+// Table is the phase table shipped with a signature.
+type Table struct {
+	AppName string
+	Procs   int
+	// BaseAET is the application execution time on the base machine.
+	BaseAET vtime.Duration
+	Rows    []TableRow
+	// TotalPhases is the phase count before relevance filtering.
+	TotalPhases int
+}
+
+// RelevantRows returns only the rows the 1 percent rule kept.
+func (t *Table) RelevantRows() []TableRow {
+	var out []TableRow
+	for _, r := range t.Rows {
+		if r.Relevant {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// PredictedAET applies the paper's Equation (1), PET = Σ PhaseETᵢ·Wᵢ,
+// to the table's own base-machine phase times (a self-check: with all
+// phases included this reconstructs the base AET).
+func (t *Table) PredictedAET(relevantOnly bool) vtime.Duration {
+	var pet vtime.Duration
+	for _, r := range t.Rows {
+		if relevantOnly && !r.Relevant {
+			continue
+		}
+		pet += r.PhaseET * vtime.Duration(r.Weight)
+	}
+	return pet
+}
+
+// BuildTable derives the phase table from an analysis, designating for
+// each phase the occurrence with index min(warmOccurrence, weight-1) —
+// checkpointing a later occurrence guarantees the machine components
+// (caches, TLBs) are warm when the phase is measured.
+func (a *Analysis) BuildTable(warmOccurrence int) (*Table, error) {
+	if warmOccurrence < 0 {
+		return nil, fmt.Errorf("phase: negative warm occurrence index")
+	}
+	procs := a.Logical.Trace.Procs
+	// prefix[p] holds the sorted tick positions of process p's events,
+	// so "events completed before tick t" is a binary search.
+	prefix := make([][]int64, procs)
+	per := a.Logical.Trace.PerProcess()
+	for p := 0; p < procs; p++ {
+		ts := make([]int64, len(per[p]))
+		for i := range per[p] {
+			ts[i] = per[p][i].LT
+		}
+		sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+		prefix[p] = ts
+	}
+	eventsBefore := func(p int, tick int) int64 {
+		ts := prefix[p]
+		lo, hi := 0, len(ts)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ts[mid] < int64(tick) {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return int64(lo)
+	}
+
+	relevant := map[int]bool{}
+	for _, p := range a.Relevant() {
+		relevant[p.ID] = true
+	}
+	tb := &Table{
+		AppName:     a.Logical.Trace.AppName,
+		Procs:       procs,
+		BaseAET:     a.AET,
+		TotalPhases: len(a.Phases),
+	}
+	for _, p := range a.Phases {
+		oi := warmOccurrence
+		if oi >= len(p.Occurrences) {
+			oi = len(p.Occurrences) - 1
+		}
+		// Prefer a designated occurrence that is immediately followed
+		// by another occurrence of this phase (back-to-back in tick
+		// order), so the signature can measure the marginal
+		// per-repetition cost.
+		pair := -1
+		for k := oi; k+1 < len(p.Occurrences); k++ {
+			if p.Occurrences[k].EndTick == p.Occurrences[k+1].StartTick {
+				pair = k
+				break
+			}
+		}
+		if pair >= 0 {
+			oi = pair
+		}
+		occ := p.Occurrences[oi]
+		row := TableRow{
+			PhaseID:     p.ID,
+			Weight:      p.Weight(),
+			PhaseET:     p.MeanET(),
+			Relevant:    relevant[p.ID],
+			Occurrence:  oi,
+			StartTick:   occ.StartTick,
+			EndTick:     occ.EndTick,
+			StartEvents: make([]int64, procs),
+			EndEvents:   make([]int64, procs),
+		}
+		for pr := 0; pr < procs; pr++ {
+			row.StartEvents[pr] = eventsBefore(pr, occ.StartTick)
+			row.EndEvents[pr] = eventsBefore(pr, occ.EndTick)
+		}
+		if pair >= 0 {
+			occ2 := p.Occurrences[pair+1]
+			row.HasPair = true
+			row.End2Events = make([]int64, procs)
+			for pr := 0; pr < procs; pr++ {
+				row.End2Events[pr] = eventsBefore(pr, occ2.EndTick)
+			}
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return tb, nil
+}
+
+// Validate checks table invariants: boundaries are per-process
+// monotone within each row and weights are positive.
+func (t *Table) Validate() error {
+	if t.Procs <= 0 {
+		return fmt.Errorf("phase table: no processes")
+	}
+	for _, r := range t.Rows {
+		if r.Weight < 1 {
+			return fmt.Errorf("phase table: phase %d weight %d", r.PhaseID, r.Weight)
+		}
+		if len(r.StartEvents) != t.Procs || len(r.EndEvents) != t.Procs {
+			return fmt.Errorf("phase table: phase %d boundary width", r.PhaseID)
+		}
+		any := false
+		for p := 0; p < t.Procs; p++ {
+			if r.StartEvents[p] > r.EndEvents[p] {
+				return fmt.Errorf("phase table: phase %d proc %d start %d > end %d",
+					r.PhaseID, p, r.StartEvents[p], r.EndEvents[p])
+			}
+			if r.EndEvents[p] > r.StartEvents[p] {
+				any = true
+			}
+		}
+		if !any {
+			return fmt.Errorf("phase table: phase %d spans no events", r.PhaseID)
+		}
+	}
+	return nil
+}
+
+// Print renders the table in the spirit of the paper's Fig. 7 listing.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "PHASE_TABLE %s (%d processes, base AET %v)\n", t.AppName, t.Procs, t.BaseAET)
+	fmt.Fprintf(w, "%-8s %-12s %-10s %-8s %s\n", "PhaseID", "PhaseET", "Weight", "Relevant", "Start->End (proc 0)")
+	for _, r := range t.Rows {
+		rel := ""
+		if r.Relevant {
+			rel = "yes"
+		}
+		fmt.Fprintf(w, "%-8d %-12v %-10d %-8s %d->%d\n",
+			r.PhaseID, r.PhaseET, r.Weight, rel, r.StartEvents[0], r.EndEvents[0])
+	}
+}

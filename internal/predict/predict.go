@@ -1,0 +1,182 @@
+// Package predict drives the paper's experimental methodology
+// (Fig. 12): instrument the application on a base machine, analyse the
+// trace into phases, construct the signature, execute it on a target
+// machine to obtain the predicted execution time (PET), run the full
+// application on the target for the ground-truth AET, and report the
+// prediction error (PETE) together with every tool-performance metric
+// of Tables 8 and 9 (tracefile size, analysis time, construction time,
+// signature execution time, instrumentation overhead).
+//
+// It also implements the partial-execution baseline of Yang et al.
+// [17], which the ablation benchmarks compare PAS2P against.
+package predict
+
+import (
+	"fmt"
+	"time"
+
+	"pas2p/internal/logical"
+	"pas2p/internal/machine"
+	"pas2p/internal/mpi"
+	"pas2p/internal/phase"
+	"pas2p/internal/signature"
+	"pas2p/internal/trace"
+	"pas2p/internal/vtime"
+)
+
+// Experiment is one base-to-target validation run.
+type Experiment struct {
+	App    mpi.App
+	Base   *machine.Deployment
+	Target *machine.Deployment
+	// EventOverhead is the per-event instrumentation cost charged
+	// during the traced run (Table 9's AETPAS2P).
+	EventOverhead vtime.Duration
+	// PhaseConfig defaults to phase.DefaultConfig() when zero.
+	PhaseConfig phase.Config
+	// Signature defaults to signature.DefaultOptions() when zero.
+	Signature signature.Options
+	// WarmOccurrence designates which phase occurrence is
+	// checkpointed (default 1, the second).
+	WarmOccurrence int
+	// SkipTargetAET skips the ground-truth full run on the target
+	// (PETE is then reported as NaN); used when only SET/PET matter.
+	SkipTargetAET bool
+	// NICContention enables per-node NIC serialisation in every run of
+	// the experiment (base, target, signature).
+	NICContention bool
+	// AlgorithmicCollectives costs collectives by their real algorithm
+	// rounds in every run of the experiment.
+	AlgorithmicCollectives bool
+}
+
+// Outcome carries everything the paper's tables report.
+type Outcome struct {
+	// Analysis-side metrics (base machine).
+	AETBase   vtime.Duration // uninstrumented base run
+	AETPAS2P  vtime.Duration // instrumented base run
+	TFSize    int64          // tracefile size in bytes
+	TFAT      time.Duration  // wall-clock tracefile analysis time
+	Total     int            // total phases found
+	Relevant  int            // relevant phases
+	SCT       vtime.Duration // signature construction time
+	Table     *phase.Table
+	Signature *signature.Signature
+
+	// Prediction-side metrics (target machine).
+	SET       vtime.Duration
+	PET       vtime.Duration
+	AETTarget vtime.Duration
+	Phases    []signature.PhaseMeasurement
+
+	// Derived report columns.
+	PETEPercent     float64 // 100·|PET-AET|/AET
+	SETvsAETPercent float64 // 100·SET/AET
+	OverheadFactor  float64 // Table 9: (AETPAS2P+TFAT+SCT+SET)/AET
+}
+
+// Run executes the full Fig. 12 loop.
+func Run(e Experiment) (*Outcome, error) {
+	if e.App.Body == nil {
+		return nil, fmt.Errorf("predict: experiment has no application")
+	}
+	if e.Base == nil || e.Target == nil {
+		return nil, fmt.Errorf("predict: experiment needs base and target deployments")
+	}
+	if e.PhaseConfig == (phase.Config{}) {
+		e.PhaseConfig = phase.DefaultConfig()
+	}
+	if e.Signature == (signature.Options{}) {
+		e.Signature = signature.DefaultOptions()
+	}
+	e.Signature.NICContention = e.Signature.NICContention || e.NICContention
+	e.Signature.AlgorithmicCollectives = e.Signature.AlgorithmicCollectives || e.AlgorithmicCollectives
+	warmOcc := e.WarmOccurrence
+	if warmOcc == 0 {
+		warmOcc = 1
+	}
+	out := &Outcome{}
+
+	// 1. Uninstrumented base run: the AET reference for relevance and
+	//    overhead accounting.
+	plain, err := mpi.Run(e.App, mpi.RunConfig{Deployment: e.Base,
+		NICContention: e.NICContention, AlgorithmicCollectives: e.AlgorithmicCollectives})
+	if err != nil {
+		return nil, fmt.Errorf("predict: base run: %w", err)
+	}
+	out.AETBase = plain.Elapsed
+
+	// 2. Instrumented base run: produces the tracefile.
+	traced, err := mpi.Run(e.App, mpi.RunConfig{
+		Deployment: e.Base, Trace: true, EventOverhead: e.EventOverhead,
+		NICContention: e.NICContention, AlgorithmicCollectives: e.AlgorithmicCollectives,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("predict: instrumented run: %w", err)
+	}
+	out.AETPAS2P = traced.Elapsed
+	out.TFSize = trace.EncodedSize(traced.Trace)
+
+	// 3. Analysis: logical ordering, phase extraction, phase table.
+	//    TFAT is the real tool time this takes.
+	t0 := time.Now()
+	l, err := logical.Order(traced.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("predict: ordering: %w", err)
+	}
+	an, err := phase.Extract(l, e.PhaseConfig)
+	if err != nil {
+		return nil, fmt.Errorf("predict: extraction: %w", err)
+	}
+	tb, err := an.BuildTable(warmOcc)
+	if err != nil {
+		return nil, fmt.Errorf("predict: table: %w", err)
+	}
+	out.TFAT = time.Since(t0)
+	out.Total = tb.TotalPhases
+	out.Relevant = len(tb.RelevantRows())
+	out.Table = tb
+
+	// 4. Signature construction on the base machine.
+	br, err := signature.Build(e.App, tb, e.Base, e.Signature)
+	if err != nil {
+		return nil, fmt.Errorf("predict: build: %w", err)
+	}
+	out.SCT = br.SCT
+	out.Signature = br.Signature
+
+	// 5. Signature execution on the target machine.
+	res, err := br.Signature.Execute(e.Target)
+	if err != nil {
+		return nil, fmt.Errorf("predict: execute: %w", err)
+	}
+	out.SET = res.SET
+	out.PET = res.PET
+	out.Phases = res.Phases
+
+	// 6. Ground truth on the target.
+	if !e.SkipTargetAET {
+		full, err := mpi.Run(e.App, mpi.RunConfig{Deployment: e.Target,
+			NICContention: e.NICContention, AlgorithmicCollectives: e.AlgorithmicCollectives})
+		if err != nil {
+			return nil, fmt.Errorf("predict: target run: %w", err)
+		}
+		out.AETTarget = full.Elapsed
+		out.PETEPercent = 100 * abs(out.PET.Seconds()-out.AETTarget.Seconds()) / out.AETTarget.Seconds()
+		out.SETvsAETPercent = 100 * out.SET.Seconds() / out.AETTarget.Seconds()
+	}
+
+	// Table 9's overhead factor over the base AET. The paper's TFAT is
+	// tool wall time; ours is real seconds against virtual app seconds,
+	// and is typically negligible at these scales.
+	out.OverheadFactor = (out.AETPAS2P.Seconds() + out.TFAT.Seconds() +
+		out.SCT.Seconds() + out.SET.Seconds()) / out.AETBase.Seconds()
+	return out, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,46 @@
+package predict
+
+import (
+	"fmt"
+
+	"pas2p/internal/machine"
+	"pas2p/internal/vtime"
+)
+
+// SpeedRatio is the naive analytical baseline: scale the base-machine
+// AET by the ratio of the machines' effective compute rates. It costs
+// nothing — no run on the target at all — but it is blind to the
+// communication mix, so it mispredicts whenever the network matters
+// (the gap PAS2P's measured phases close).
+type SpeedRatio struct{}
+
+// Predict scales aetBase by the mean effective per-rank compute rate
+// ratio between the two deployments.
+func (SpeedRatio) Predict(aetBase vtime.Duration, base, target *machine.Deployment) (vtime.Duration, error) {
+	if base == nil || target == nil {
+		return 0, fmt.Errorf("predict: speed ratio needs both deployments")
+	}
+	if base.Ranks != target.Ranks {
+		return 0, fmt.Errorf("predict: speed ratio needs equal rank counts (%d vs %d)", base.Ranks, target.Ranks)
+	}
+	br := meanRate(base)
+	tr := meanRate(target)
+	if br <= 0 || tr <= 0 {
+		return 0, fmt.Errorf("predict: degenerate compute rates")
+	}
+	return vtime.Duration(float64(aetBase) * br / tr), nil
+}
+
+// meanRate is the mean effective flops rate across ranks (the inverse
+// of the per-flop compute time the machine model charges).
+func meanRate(d *machine.Deployment) float64 {
+	var sum float64
+	for r := 0; r < d.Ranks; r++ {
+		ns := d.ComputeTime(r, 1e6) // ns for 1e6 flops
+		if ns <= 0 {
+			continue
+		}
+		sum += 1e6 / float64(ns) // flops per ns
+	}
+	return sum / float64(d.Ranks)
+}

@@ -1,0 +1,267 @@
+// Package scheduler demonstrates the paper's motivating use case for
+// signatures (§1): "accurate performance estimations are instrumental
+// in helping a system resource scheduler efficiently schedule user
+// jobs ... a job schedule can maximize the system throughput". It
+// implements FCFS with EASY backfilling over a homogeneous core pool
+// and measures how schedule quality changes with the accuracy of the
+// runtime estimates — the classic comparison between inflated user
+// estimates and PAS2P's ~97-percent-accurate predictions.
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"pas2p/internal/vtime"
+)
+
+// Job is one queued batch job.
+type Job struct {
+	ID      int
+	Arrival vtime.Time
+	// Cores the job occupies while running.
+	Cores int
+	// Runtime is the job's true execution time.
+	Runtime vtime.Duration
+	// Estimate is the runtime the scheduler believes (user guess or a
+	// PAS2P prediction); it only guides backfilling decisions.
+	Estimate vtime.Duration
+}
+
+// JobOutcome reports one job's schedule.
+type JobOutcome struct {
+	Job    Job
+	Start  vtime.Time
+	Finish vtime.Time
+}
+
+// Wait is the time the job sat in the queue.
+func (o JobOutcome) Wait() vtime.Duration { return o.Start.Sub(o.Job.Arrival) }
+
+// Result summarises one simulated schedule.
+type Result struct {
+	Jobs     []JobOutcome
+	Makespan vtime.Duration
+	// AvgWaitSeconds and AvgBoundedSlowdown are the standard queueing
+	// metrics (slowdown bounded at a 10 s runtime floor).
+	AvgWaitSeconds     float64
+	AvgBoundedSlowdown float64
+	// Utilization is core-seconds used over core-seconds available
+	// until the makespan.
+	Utilization float64
+	// AvgPromiseErrorSeconds is the mean absolute gap between each
+	// job's believed completion (start + estimate, what queue plans
+	// and reservations are built on) and its true completion — the
+	// quantity the paper's §1 argues signatures fix for schedulers.
+	AvgPromiseErrorSeconds float64
+}
+
+// running is one executing job from the scheduler's viewpoint.
+type running struct {
+	finish    vtime.Time // true completion
+	estFinish vtime.Time // believed completion
+	cores     int
+}
+
+// BackfillPolicy selects the order backfill candidates are tried in.
+type BackfillPolicy int
+
+const (
+	// BackfillFCFS tries candidates in arrival order (classic EASY).
+	BackfillFCFS BackfillPolicy = iota
+	// BackfillShortest tries the shortest estimated candidate first
+	// (SJBF); this is where estimate accuracy pays off — inflated,
+	// inconsistent user estimates scramble the order.
+	BackfillShortest
+)
+
+// EASY schedules jobs FCFS with EASY backfilling on totalCores cores:
+// the queue head reserves the earliest instant enough cores free up
+// (judged by running jobs' estimated finishes), and later jobs may
+// jump ahead only if, again judged by estimates, they cannot delay
+// that reservation. Jobs are not killed at their estimate, so a
+// too-short estimate delays the head — exactly the damage inaccurate
+// predictions cause in real schedulers.
+func EASY(jobs []Job, totalCores int) (*Result, error) {
+	return Schedule(jobs, totalCores, BackfillFCFS)
+}
+
+// Schedule runs EASY backfilling with the given candidate policy.
+func Schedule(jobs []Job, totalCores int, policy BackfillPolicy) (*Result, error) {
+	if totalCores <= 0 {
+		return nil, fmt.Errorf("scheduler: no cores")
+	}
+	for _, j := range jobs {
+		if j.Cores <= 0 || j.Cores > totalCores {
+			return nil, fmt.Errorf("scheduler: job %d needs %d of %d cores", j.ID, j.Cores, totalCores)
+		}
+		if j.Runtime <= 0 || j.Estimate <= 0 {
+			return nil, fmt.Errorf("scheduler: job %d has non-positive times", j.ID)
+		}
+	}
+	if len(jobs) == 0 {
+		return &Result{}, nil
+	}
+	pending := append([]Job(nil), jobs...)
+	sort.SliceStable(pending, func(i, j int) bool {
+		if pending[i].Arrival != pending[j].Arrival {
+			return pending[i].Arrival < pending[j].Arrival
+		}
+		return pending[i].ID < pending[j].ID
+	})
+
+	var active []running
+	free := totalCores
+	now := vtime.Time(0)
+	out := &Result{}
+
+	retire := func(t vtime.Time) {
+		if t > now {
+			now = t
+		}
+		kept := active[:0]
+		for _, r := range active {
+			if r.finish <= now {
+				free += r.cores
+			} else {
+				kept = append(kept, r)
+			}
+		}
+		active = kept
+	}
+	start := func(j Job) {
+		active = append(active, running{
+			finish:    now.Add(j.Runtime),
+			estFinish: now.Add(j.Estimate),
+			cores:     j.Cores,
+		})
+		free -= j.Cores
+		out.Jobs = append(out.Jobs, JobOutcome{Job: j, Start: now, Finish: now.Add(j.Runtime)})
+	}
+
+	for len(pending) > 0 {
+		head := pending[0]
+		if now < head.Arrival {
+			retire(head.Arrival)
+		} else {
+			retire(now)
+		}
+
+		if head.Cores <= free {
+			start(head)
+			pending = pending[1:]
+			continue
+		}
+
+		// Reservation: earliest estimated instant with enough cores
+		// for the head.
+		reservation := reservationTime(active, free, head.Cores)
+		// Shadow cores: what will be free at the reservation beyond
+		// the head's own need — backfill jobs running past the
+		// reservation must fit inside them.
+		shadow := freeAt(active, free, reservation) - head.Cores
+
+		order := make([]int, 0, len(pending)-1)
+		for i := 1; i < len(pending); i++ {
+			order = append(order, i)
+		}
+		if policy == BackfillShortest {
+			sort.SliceStable(order, func(a, b int) bool {
+				return pending[order[a]].Estimate < pending[order[b]].Estimate
+			})
+		}
+		backfilled := false
+		for _, i := range order {
+			cand := pending[i]
+			if cand.Arrival > now || cand.Cores > free {
+				continue
+			}
+			if now.Add(cand.Estimate) > reservation && cand.Cores > shadow {
+				continue
+			}
+			start(cand)
+			pending = append(pending[:i], pending[i+1:]...)
+			backfilled = true
+			break
+		}
+		if backfilled {
+			continue
+		}
+
+		// Nothing runnable: advance to the next true finish or the
+		// next arrival, whichever comes first.
+		next := vtime.Infinity
+		for _, r := range active {
+			if r.finish < next {
+				next = r.finish
+			}
+		}
+		for _, p := range pending {
+			if p.Arrival > now {
+				if p.Arrival < next {
+					next = p.Arrival
+				}
+				break // pending is arrival-sorted
+			}
+		}
+		if next == vtime.Infinity {
+			return nil, fmt.Errorf("scheduler: stalled with %d jobs pending", len(pending))
+		}
+		retire(next)
+	}
+
+	var makespan vtime.Time
+	var waitSum, slowSum, coreSeconds, promiseSum float64
+	for _, o := range out.Jobs {
+		if o.Finish > makespan {
+			makespan = o.Finish
+		}
+		waitSum += o.Wait().Seconds()
+		rt := o.Job.Runtime.Seconds()
+		if rt < 10 {
+			rt = 10
+		}
+		slowSum += (o.Wait().Seconds() + o.Job.Runtime.Seconds()) / rt
+		coreSeconds += float64(o.Job.Cores) * o.Job.Runtime.Seconds()
+		promise := o.Job.Estimate.Seconds() - o.Job.Runtime.Seconds()
+		if promise < 0 {
+			promise = -promise
+		}
+		promiseSum += promise
+	}
+	n := float64(len(out.Jobs))
+	out.Makespan = vtime.Duration(makespan)
+	out.AvgWaitSeconds = waitSum / n
+	out.AvgBoundedSlowdown = slowSum / n
+	out.AvgPromiseErrorSeconds = promiseSum / n
+	if makespan > 0 {
+		out.Utilization = coreSeconds / (float64(totalCores) * makespan.Seconds())
+	}
+	return out, nil
+}
+
+// reservationTime is the earliest estimated instant at which need
+// cores are free.
+func reservationTime(active []running, free, need int) vtime.Time {
+	ends := append([]running(nil), active...)
+	sort.Slice(ends, func(i, j int) bool { return ends[i].estFinish < ends[j].estFinish })
+	f := free
+	for _, r := range ends {
+		f += r.cores
+		if f >= need {
+			return r.estFinish
+		}
+	}
+	return vtime.Infinity
+}
+
+// freeAt counts the cores believed free at instant t.
+func freeAt(active []running, free int, t vtime.Time) int {
+	f := free
+	for _, r := range active {
+		if r.estFinish <= t {
+			f += r.cores
+		}
+	}
+	return f
+}

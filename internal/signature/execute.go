@@ -1,0 +1,277 @@
+package signature
+
+import (
+	"fmt"
+
+	"pas2p/internal/machine"
+	"pas2p/internal/mpi"
+	"pas2p/internal/trace"
+	"pas2p/internal/vtime"
+)
+
+// PhaseMeasurement is the timing of one phase measured by the
+// signature on a target machine.
+type PhaseMeasurement struct {
+	PhaseID int
+	Weight  int
+	// ET is the measured phase execution time on the target.
+	ET vtime.Duration
+	// Restart and Warmup are the checkpoint-restore and warm-up costs
+	// paid before the measurement.
+	Restart vtime.Duration
+	Warmup  vtime.Duration
+}
+
+// Contribution is the phase's term in Equation (1).
+func (m PhaseMeasurement) Contribution() vtime.Duration {
+	return m.ET * vtime.Duration(m.Weight)
+}
+
+// ExecResult is what one signature execution yields.
+type ExecResult struct {
+	// SET is the signature execution time: the virtual time the whole
+	// signature run took (restarts + warm-ups + measured phases).
+	SET vtime.Duration
+	// PET is the predicted application execution time from Eq. (1).
+	PET vtime.Duration
+	// Phases lists per-phase measurements in execution order.
+	Phases []PhaseMeasurement
+}
+
+// ErrISAMismatch is returned when a signature is executed on a machine
+// with a different instruction set than it was built on; per §7 the
+// signature must be rebuilt from the phase table in that case.
+type ErrISAMismatch struct {
+	BaseISA, TargetISA string
+}
+
+func (e *ErrISAMismatch) Error() string {
+	return fmt.Sprintf("signature: built for ISA %q, target runs %q: rebuild the signature from the phase table on the target machine",
+		e.BaseISA, e.TargetISA)
+}
+
+// Execute runs the signature on a target machine: each checkpoint is
+// restarted, the warm-up region runs cold, the phase is measured once,
+// and Equation (1) predicts the full application execution time.
+func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
+	if target == nil {
+		return nil, fmt.Errorf("signature: nil target deployment")
+	}
+	if target.Cluster.ISA != s.BaseISA {
+		return nil, &ErrISAMismatch{BaseISA: s.BaseISA, TargetISA: target.Cluster.ISA}
+	}
+	if target.Ranks != s.App.Procs {
+		return nil, fmt.Errorf("signature: target deployment has %d ranks, signature has %d processes",
+			target.Ranks, s.App.Procs)
+	}
+	restartCost := s.Options.Checkpoint.RestartTime(s.Options.StateBytesPerRank)
+
+	// Shared measurement state: the engine serialises all goroutines,
+	// and each slot is written by exactly one rank.
+	meas := make([][]cell, len(s.segments))
+	for i := range meas {
+		meas[i] = make([]cell, s.App.Procs)
+	}
+
+	res, err := mpi.Run(s.App, mpi.RunConfig{
+		Deployment:             target,
+		NICContention:          s.Options.NICContention,
+		AlgorithmicCollectives: s.Options.AlgorithmicCollectives,
+		NewInterceptor: func(rank int) mpi.Interceptor {
+			return &executorInterceptor{
+				rank: rank, segs: s.segments, restart: restartCost,
+				cold:   s.Options.ColdFactor,
+				record: func(seg int, c cell) { meas[seg][rank] = c },
+			}
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("signature: execution run: %w", err)
+	}
+
+	out := &ExecResult{SET: res.Elapsed}
+	for i, seg := range s.segments {
+		var lastStart, lastEnd, lastEnd2 vtime.Time
+		var restart, warm vtime.Duration
+		var spanSum vtime.Duration
+		spanN := 0
+		have, paired := false, false
+		for r := 0; r < s.App.Procs; r++ {
+			cl := meas[i][r]
+			if !cl.started || !cl.ended || (cl.start == cl.end && cl.end2 <= cl.end) {
+				// Ranks with no events inside the phase window carry
+				// no timing information.
+				continue
+			}
+			if cl.start > lastStart {
+				lastStart = cl.start
+			}
+			if cl.end > lastEnd {
+				lastEnd = cl.end
+			}
+			spanSum += cl.end.Sub(cl.start)
+			spanN++
+			if cl.paired {
+				paired = true
+				if cl.end2 > lastEnd2 {
+					lastEnd2 = cl.end2
+				}
+			}
+			if cl.restart > restart {
+				restart = cl.restart
+			}
+			if cl.warm > warm {
+				warm = cl.warm
+			}
+			have = true
+		}
+		if !have {
+			return nil, fmt.Errorf("signature: phase %d was never measured (no process entered it)", seg.row.PhaseID)
+		}
+		// Candidate estimators for the phase execution time; see
+		// ETEstimator for the trade-offs.
+		lastSpan := lastEnd.Sub(lastStart)
+		pairDelta := lastSpan
+		if paired && lastEnd2 > lastEnd {
+			pairDelta = lastEnd2.Sub(lastEnd)
+		}
+		meanSpan := lastSpan
+		if spanN > 0 {
+			meanSpan = spanSum / vtime.Duration(spanN)
+		}
+		var et vtime.Duration
+		switch s.Options.Estimator {
+		case EstimatorLastSpan:
+			et = lastSpan
+		case EstimatorMeanSpan:
+			et = meanSpan
+		default: // EstimatorPairDelta
+			et = pairDelta
+		}
+		m := PhaseMeasurement{
+			PhaseID: seg.row.PhaseID,
+			Weight:  seg.row.Weight,
+			ET:      et,
+			Restart: restart,
+			Warmup:  warm,
+		}
+		out.Phases = append(out.Phases, m)
+		out.PET += m.Contribution()
+	}
+	return out, nil
+}
+
+// executorInterceptor drives one rank through skip / restart / warm-up
+// / measure transitions at the replay positions of the phase table.
+type executorInterceptor struct {
+	rank    int
+	segs    []segment
+	restart vtime.Duration
+	cold    float64
+	record  func(seg int, c cell)
+
+	seg   int
+	state execState
+	cur   cell
+}
+
+// cell is one rank's measurement of one phase.
+type cell struct {
+	start, end, end2 vtime.Time
+	restart, warm    vtime.Duration
+	started, ended   bool
+	paired           bool
+}
+
+type execState int8
+
+const (
+	stSkip execState = iota
+	stWarmup
+	stMeasure
+	stMeasure2
+	stDone
+)
+
+// Init puts the rank in skip mode before any application code runs:
+// nothing before the first checkpoint costs time (it was never
+// executed; the first restart recreates its state).
+func (x *executorInterceptor) Init(c *mpi.Comm) {
+	c.SetMode(0, true)
+	x.at(c, 0)
+}
+
+func (x *executorInterceptor) Before(c *mpi.Comm, kind trace.Kind, idx int64) {}
+
+func (x *executorInterceptor) After(c *mpi.Comm, kind trace.Kind, idx int64) {
+	x.at(c, idx+1)
+}
+
+func (x *executorInterceptor) at(c *mpi.Comm, pos int64) {
+	for x.seg < len(x.segs) {
+		seg := &x.segs[x.seg]
+		switch x.state {
+		case stSkip:
+			if pos != seg.ckpt[x.rank] {
+				return
+			}
+			// Restart the checkpoint: pay the restore cost at full
+			// price (leave free mode first), then run the warm-up
+			// region with a cold machine.
+			x.cur = cell{restart: x.restart}
+			c.SetMode(1, false)
+			c.Elapse(x.restart)
+			warmStart := c.Now()
+			x.cur.warm = -vtime.Duration(warmStart) // finalised below
+			x.state = stWarmup
+			if seg.ckpt[x.rank] < seg.row.StartEvents[x.rank] {
+				c.SetMode(x.cold, false)
+				return
+			}
+			// No warm-up region for this rank; fall through to measure.
+			continue
+		case stWarmup:
+			if pos < seg.row.StartEvents[x.rank] {
+				return
+			}
+			x.cur.warm += vtime.Duration(c.Now()) // warm = now - warmStart
+			c.SetMode(1, false)
+			x.cur.start = c.Now()
+			x.cur.started = true
+			x.state = stMeasure
+			continue
+		case stMeasure:
+			if pos < seg.row.EndEvents[x.rank] {
+				return
+			}
+			x.cur.end = c.Now()
+			x.cur.ended = true
+			if seg.row.HasPair {
+				// Keep running at full cost through the immediately
+				// following occurrence; its completion cut gives the
+				// marginal per-repetition time.
+				x.cur.paired = true
+				x.state = stMeasure2
+				continue
+			}
+			c.SetMode(0, true)
+			x.record(x.seg, x.cur)
+			x.seg++
+			x.state = stSkip
+			continue
+		case stMeasure2:
+			if pos < seg.row.End2Events[x.rank] {
+				return
+			}
+			x.cur.end2 = c.Now()
+			c.SetMode(0, true)
+			x.record(x.seg, x.cur)
+			x.seg++
+			x.state = stSkip
+			continue
+		default:
+			return
+		}
+	}
+	x.state = stDone
+}

@@ -1,0 +1,93 @@
+package signature
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pas2p/internal/checkpoint"
+	"pas2p/internal/mpi"
+	"pas2p/internal/phase"
+)
+
+// Saved is the on-disk form of a signature: everything except the
+// application code itself, which is referenced by registry name (the
+// paper's signature carries the real binaries; here the runnable code
+// is reattached at load time).
+type Saved struct {
+	// AppName/Workload/Procs identify the application in the registry.
+	AppName  string
+	Workload string
+	Procs    int
+	// BaseISA is the instruction set the signature was built for.
+	BaseISA string
+	// BaseCluster names the machine the signature was built on
+	// (informational).
+	BaseCluster string
+	Options     Options
+	Table       *phase.Table
+	Catalog     *checkpoint.Catalog
+}
+
+// Save writes the signature's persistent form. workload and
+// baseCluster label the artefact for the reader.
+func (s *Signature) Save(w io.Writer, workload, baseCluster string) error {
+	saved := Saved{
+		AppName:     s.App.Name,
+		Workload:    workload,
+		Procs:       s.App.Procs,
+		BaseISA:     s.BaseISA,
+		BaseCluster: baseCluster,
+		Options:     s.Options,
+		Table:       s.Table,
+		Catalog:     s.Catalog,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(&saved)
+}
+
+// LoadSaved reads a persisted signature description.
+func LoadSaved(r io.Reader) (*Saved, error) {
+	var s Saved
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("signature: decoding: %w", err)
+	}
+	if s.Table == nil || s.Catalog == nil {
+		return nil, fmt.Errorf("signature: persisted form missing table or catalog")
+	}
+	if err := s.Table.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Catalog.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Reassemble reattaches the application code to a persisted signature,
+// rebuilding the executable segments without re-running construction
+// (the checkpoints are already in the catalogue).
+func (s *Saved) Reassemble(app mpi.App) (*Signature, error) {
+	if app.Procs != s.Procs {
+		return nil, fmt.Errorf("signature: app has %d procs, saved signature %d", app.Procs, s.Procs)
+	}
+	if app.Name != s.AppName {
+		return nil, fmt.Errorf("signature: app %q does not match saved %q", app.Name, s.AppName)
+	}
+	if err := s.Options.validate(); err != nil {
+		return nil, err
+	}
+	segs := selectSegments(s.Table, s.Options)
+	if len(segs) == 0 {
+		return nil, fmt.Errorf("signature: saved table has no phases to execute")
+	}
+	return &Signature{
+		App:      app,
+		Table:    s.Table,
+		Catalog:  s.Catalog,
+		BaseISA:  s.BaseISA,
+		Options:  s.Options,
+		segments: segs,
+	}, nil
+}

@@ -1,0 +1,86 @@
+package signature
+
+import (
+	"bytes"
+	"pas2p/internal/machine"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	app := iterApp(8, 30)
+	base := deployOn(t, machine.ClusterA(), 8)
+	tb, _ := analyze(t, app, base)
+	br, err := Build(app, tb, base, lightOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := br.Signature.Save(&buf, "testwl", "Cluster A"); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := LoadSaved(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.AppName != "iter" || saved.Procs != 8 || saved.BaseISA != "x86_64" {
+		t.Errorf("saved header wrong: %+v", saved)
+	}
+	reassembled, err := saved.Reassemble(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reassembled signature must predict identically to the
+	// original (deterministic runtime, same segments).
+	target := deployOn(t, machine.ClusterB(), 8)
+	r1, err := br.Signature.Execute(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := reassembled.Execute(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PET != r2.PET || r1.SET != r2.SET {
+		t.Errorf("reassembled signature diverges: PET %v/%v SET %v/%v",
+			r1.PET, r2.PET, r1.SET, r2.SET)
+	}
+}
+
+func TestLoadSavedRejectsGarbage(t *testing.T) {
+	if _, err := LoadSaved(strings.NewReader("not json")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := LoadSaved(strings.NewReader(`{"AppName":"x"}`)); err == nil {
+		t.Error("missing table/catalog should fail")
+	}
+}
+
+func TestReassembleMismatch(t *testing.T) {
+	app := iterApp(8, 20)
+	base := deployOn(t, machine.ClusterA(), 8)
+	tb, _ := analyze(t, app, base)
+	br, err := Build(app, tb, base, lightOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := br.Signature.Save(&buf, "", ""); err != nil {
+		t.Fatal(err)
+	}
+	saved, err := LoadSaved(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongProcs := iterApp(4, 20)
+	if _, err := saved.Reassemble(wrongProcs); err == nil {
+		t.Error("procs mismatch should fail")
+	}
+	wrongName := iterApp(8, 20)
+	wrongName.Name = "other"
+	if _, err := saved.Reassemble(wrongName); err == nil {
+		t.Error("name mismatch should fail")
+	}
+}

@@ -1,0 +1,122 @@
+// Package sigrepo manages a directory of persisted signatures — the
+// "performance metadata of an application" the paper's introduction
+// proposes: the site keeps one signature per (application, process
+// count, workload), and schedulers or users look execution-time
+// predictions up by executing the stored signature on the machine at
+// hand instead of re-running applications.
+package sigrepo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"pas2p/internal/machine"
+	"pas2p/internal/mpi"
+	"pas2p/internal/signature"
+)
+
+// Repo is a signature store rooted at a directory; each signature is
+// one JSON file produced by signature.Save.
+type Repo struct {
+	dir string
+}
+
+// Open binds a repository to a directory, creating it if needed.
+func Open(dir string) (*Repo, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("sigrepo: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sigrepo: %w", err)
+	}
+	return &Repo{dir: dir}, nil
+}
+
+// key builds the canonical filename for an entry.
+func key(appName string, procs int, workload string) string {
+	sanitized := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, workload)
+	return fmt.Sprintf("%s_p%d_%s.sig.json", appName, procs, sanitized)
+}
+
+// Add stores a signature under its application identity.
+func (r *Repo) Add(sig *signature.Signature, workload, baseCluster string) (string, error) {
+	path := filepath.Join(r.dir, key(sig.App.Name, sig.App.Procs, workload))
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("sigrepo: %w", err)
+	}
+	defer f.Close()
+	if err := sig.Save(f, workload, baseCluster); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Entry describes one stored signature.
+type Entry struct {
+	Path  string
+	Saved *signature.Saved
+}
+
+// List returns every stored signature, sorted by filename.
+func (r *Repo) List() ([]Entry, error) {
+	matches, err := filepath.Glob(filepath.Join(r.dir, "*.sig.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(matches)
+	var out []Entry
+	for _, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		saved, err := signature.LoadSaved(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("sigrepo: %s: %w", path, err)
+		}
+		out = append(out, Entry{Path: path, Saved: saved})
+	}
+	return out, nil
+}
+
+// Lookup finds the stored signature for an application identity.
+func (r *Repo) Lookup(appName string, procs int, workload string) (*Entry, error) {
+	path := filepath.Join(r.dir, key(appName, procs, workload))
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sigrepo: no signature for %s/p%d/%q: %w", appName, procs, workload, err)
+	}
+	defer f.Close()
+	saved, err := signature.LoadSaved(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{Path: path, Saved: saved}, nil
+}
+
+// Predict reattaches the application code (via makeApp) to a stored
+// signature and executes it on the target.
+func (e *Entry) Predict(target *machine.Deployment,
+	makeApp func(name string, procs int, workload string) (mpi.App, error)) (*signature.ExecResult, error) {
+	app, err := makeApp(e.Saved.AppName, e.Saved.Procs, e.Saved.Workload)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := e.Saved.Reassemble(app)
+	if err != nil {
+		return nil, err
+	}
+	return sig.Execute(target)
+}

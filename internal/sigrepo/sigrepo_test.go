@@ -1,0 +1,115 @@
+package sigrepo
+
+import (
+	"testing"
+
+	"pas2p/internal/apps"
+	"pas2p/internal/logical"
+	"pas2p/internal/machine"
+	"pas2p/internal/mpi"
+	"pas2p/internal/phase"
+	"pas2p/internal/signature"
+)
+
+func buildSig(t testing.TB, name string, procs int, workload string) *signature.Signature {
+	t.Helper()
+	app, err := apps.Make(name, procs, workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := machine.NewDeployment(machine.ClusterA(), procs, machine.MapBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mpi.Run(app, mpi.RunConfig{Deployment: base, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := logical.Order(res.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := phase.Extract(l, phase.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := an.BuildTable(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := signature.Build(app, tb, base, signature.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return br.Signature
+}
+
+func TestRepoAddListLookupPredict(t *testing.T) {
+	repo, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := buildSig(t, "cg", 8, "classA")
+	path, err := repo.Add(sig, "classA", "Cluster A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path == "" {
+		t.Fatal("empty path")
+	}
+	sig2 := buildSig(t, "moldy", 8, "tip4p-short")
+	if _, err := repo.Add(sig2, "tip4p-short", "Cluster A"); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := repo.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("list has %d entries, want 2", len(entries))
+	}
+
+	e, err := repo.Lookup("cg", 8, "classA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Saved.AppName != "cg" || e.Saved.Procs != 8 {
+		t.Errorf("lookup returned %+v", e.Saved)
+	}
+
+	target, err := machine.NewDeployment(machine.ClusterB(), 8, machine.MapBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Predict(target, apps.Make)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PET <= 0 || res.SET <= 0 {
+		t.Error("degenerate prediction from stored signature")
+	}
+}
+
+func TestRepoLookupMissing(t *testing.T) {
+	repo, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := repo.Lookup("cg", 64, "classC"); err == nil {
+		t.Error("missing entry should fail")
+	}
+}
+
+func TestRepoOpenValidation(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty dir should fail")
+	}
+}
+
+func TestRepoKeySanitisation(t *testing.T) {
+	k := key("smg2000", 64, "-n 200 solver 3")
+	if k != "smg2000_p64_-n_200_solver_3.sig.json" {
+		t.Errorf("key = %q", k)
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"testing"
+
+	"pas2p/internal/machine"
+	"pas2p/internal/network"
+	"pas2p/internal/vtime"
+)
+
+// BenchmarkPingPong measures the engine's per-operation cost on the
+// tightest possible loop: two ranks exchanging eager messages.
+func BenchmarkPingPong(b *testing.B) {
+	d, err := machine.NewDeployment(machine.ClusterA(), 2, machine.MapBlock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	iters := b.N
+	_, err = Run(Config{Deployment: d, Name: "bench", Body: func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < iters; i++ {
+				p.Send(1, 0, 64, nil)
+				p.Recv(1, 1)
+			}
+		} else {
+			for i := 0; i < iters; i++ {
+				p.Recv(0, 0)
+				p.Send(0, 1, 64, nil)
+			}
+		}
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkAllreduce64 measures collective synchronisation cost across
+// 64 ranks.
+func BenchmarkAllreduce64(b *testing.B) {
+	d, err := machine.NewDeployment(machine.ClusterC(), 64, machine.MapBlock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	iters := b.N
+	m := members(64)
+	_, err = Run(Config{Deployment: d, Name: "bench", Body: func(p *Proc) {
+		for i := 0; i < iters; i++ {
+			p.Collective(network.Allreduce, 0, m, 0, 8, nil)
+		}
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWildcardRecv measures the conservative wildcard-matching
+// path: a master draining messages from 15 workers.
+func BenchmarkWildcardRecv(b *testing.B) {
+	d, err := machine.NewDeployment(machine.ClusterA(), 16, machine.MapBlock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	iters := b.N
+	_, err = Run(Config{Deployment: d, Name: "bench", Body: func(p *Proc) {
+		if p.Rank() == 0 {
+			for i := 0; i < iters; i++ {
+				for w := 1; w < 16; w++ {
+					p.Recv(AnySource, 0)
+				}
+			}
+		} else {
+			for i := 0; i < iters; i++ {
+				p.Advance(vtime.Duration(p.Rank()) * vtime.Microsecond)
+				p.Send(0, 0, 64, nil)
+			}
+		}
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

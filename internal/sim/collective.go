@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+
+	"pas2p/internal/network"
+	"pas2p/internal/vtime"
+)
+
+// handleCollective implements synchronising collectives. Every member
+// of the communicator must call the same operation in the same program
+// order; the operation completes for all members at
+// max(arrival clocks) + algorithmic cost.
+func (e *Engine) handleCollective(ps *procState, req request) (result, bool) {
+	members := req.collMembers
+	idx := -1
+	for i, m := range members {
+		if m == ps.rank {
+			idx = i
+		}
+		if m < 0 || m >= e.n {
+			e.err = fmt.Errorf("rank %d: collective with invalid member %d", ps.rank, m)
+			return result{}, true
+		}
+	}
+	if idx < 0 {
+		e.err = fmt.Errorf("rank %d: called a collective it is not a member of", ps.rank)
+		return result{}, true
+	}
+
+	seq := ps.collSeq[req.collCtx]
+	ps.collSeq[req.collCtx] = seq + 1
+	key := collKey{ctx: req.collCtx, seq: seq}
+
+	cs := e.colls[key]
+	if cs == nil {
+		cs = &collState{
+			op:       int(req.collOp),
+			members:  members,
+			root:     req.collRoot,
+			size:     req.size,
+			arrivals: make([]vtime.Time, len(members)),
+			payloads: make([]any, len(members)),
+			freeAll:  true,
+		}
+		e.colls[key] = cs
+	} else {
+		if cs.op != int(req.collOp) || cs.root != req.collRoot ||
+			len(cs.members) != len(members) {
+			e.err = fmt.Errorf("rank %d: collective mismatch at ctx %d seq %d: %v vs %v",
+				ps.rank, req.collCtx, seq, network.CollectiveOp(cs.op), req.collOp)
+			return result{}, true
+		}
+		if req.size > cs.size {
+			cs.size = req.size
+		}
+	}
+
+	cs.arrived++
+	cs.arrivals[idx] = ps.clock
+	cs.payloads[idx] = req.payload
+	if ps.clock > cs.tmax {
+		cs.tmax = ps.clock
+	}
+	if !ps.mode.CommFree {
+		cs.freeAll = false
+	}
+
+	if cs.arrived < len(members) {
+		ps.status = stStuck
+		ps.blockedOn = fmt.Sprintf("%v(ctx=%d seq=%d, %d/%d arrived)",
+			req.collOp, req.collCtx, seq, cs.arrived, len(members))
+		return result{}, true
+	}
+
+	// Last arrival: cost the operation and release everyone.
+	delete(e.colls, key)
+	e.stats.Collectives++
+	ends := make([]vtime.Time, len(members))
+	if cs.freeAll {
+		for i := range ends {
+			ends[i] = cs.tmax
+		}
+	} else if e.cfg.AlgorithmicCollectives {
+		rootIdx := 0
+		for i, m := range members {
+			if m == cs.root {
+				rootIdx = i
+			}
+		}
+		offsets := network.CollectiveSchedule(req.collOp, members, rootIdx, cs.size,
+			func(a, b int) network.Params { return e.cfg.Deployment.Path(a, b) })
+		for i := range ends {
+			ends[i] = cs.tmax.Add(offsets[i])
+		}
+	} else {
+		path := e.cfg.Deployment.CollectivePath(members)
+		end := cs.tmax.Add(path.CollectiveCost(req.collOp, len(members), cs.size))
+		for i := range ends {
+			ends[i] = end
+		}
+	}
+
+	var mine CollInfo
+	for i, m := range members {
+		info := CollInfo{
+			Op: req.collOp, Ctx: req.collCtx, Seq: seq,
+			Start: cs.arrivals[i], End: ends[i],
+			Root: cs.root, Size: cs.size,
+			Members: members, Payloads: cs.payloads,
+		}
+		mp := e.procs[m]
+		if m == ps.rank {
+			ps.clock = ends[i]
+			mine = info
+			continue
+		}
+		mp.pending = result{now: ends[i], coll: info}
+		mp.clock = ends[i]
+		mp.wake = ends[i]
+		mp.status = stReady
+		mp.blockedOn = ""
+	}
+	return result{now: ps.clock, coll: mine}, false
+}

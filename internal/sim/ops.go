@@ -1,0 +1,594 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"pas2p/internal/network"
+	"pas2p/internal/vtime"
+)
+
+type opKind int8
+
+const (
+	opAdvance opKind = iota
+	opSend
+	opIsend
+	opRecv
+	opIrecv
+	opWait
+	opCollective
+	opSetMode
+	opDone
+	opPanic
+)
+
+type request struct {
+	rank int
+	kind opKind
+
+	dur vtime.Duration // advance
+
+	peer, tag, size int // send/recv
+	payload         any
+
+	waitIDs []int // wait
+
+	collOp      network.CollectiveOp
+	collCtx     int
+	collMembers []int
+	collRoot    int
+
+	mode Mode
+
+	panicVal string
+}
+
+// PtPInfo reports the resolved timing of one point-to-point operation.
+type PtPInfo struct {
+	Start, End vtime.Time
+	Src, Dst   int
+	Tag, Size  int
+	// SendSeq is the per-sender message index: (Src, SendSeq)
+	// identifies the message globally, giving the trace layer the
+	// paper's "Relation" between a receive and its send.
+	SendSeq int64
+	Payload any // receives only
+	IsSend  bool
+}
+
+// CollInfo reports the resolved timing of one collective operation.
+type CollInfo struct {
+	Op         network.CollectiveOp
+	Ctx, Seq   int
+	Start, End vtime.Time
+	Root, Size int
+	Members    []int
+	// Payloads holds every member's contribution, indexed like
+	// Members; the caller computes the operation's data semantics.
+	Payloads []any
+}
+
+// result is what a resumed rank receives.
+type result struct {
+	aborted bool
+	now     vtime.Time
+	ptp     PtPInfo
+	ptps    []PtPInfo // wait
+	coll    CollInfo
+	reqID   int // isend/irecv
+}
+
+// handle services one request from the running rank ps. It returns the
+// inline result and blocked=false when the rank may continue, or
+// blocked=true when the rank is now stuck or done.
+func (e *Engine) handle(ps *procState, req request) (result, bool) {
+	switch req.kind {
+	case opAdvance:
+		d := req.dur
+		if ps.mode.ComputeScale != 1 {
+			d = vtime.Duration(math.Round(float64(d) * ps.mode.ComputeScale))
+		}
+		ps.clock = ps.clock.Add(d)
+		return result{now: ps.clock}, false
+
+	case opSetMode:
+		ps.mode = req.mode
+		if ps.mode.ComputeScale < 0 {
+			ps.mode.ComputeScale = 0
+		}
+		return result{now: ps.clock}, false
+
+	case opSend, opIsend:
+		return e.handleSend(ps, req)
+
+	case opRecv, opIrecv:
+		return e.handleRecv(ps, req)
+
+	case opWait:
+		return e.handleWait(ps, req)
+
+	case opCollective:
+		return e.handleCollective(ps, req)
+
+	case opDone:
+		ps.status = stDone
+		e.doneCount++
+		return result{}, true
+
+	case opPanic:
+		// The goroutine has already exited; mark the rank done so
+		// abort does not try to poison it.
+		ps.status = stDone
+		e.err = fmt.Errorf("rank %d panicked: %s", ps.rank, req.panicVal)
+		return result{}, true
+
+	default:
+		e.err = fmt.Errorf("rank %d: unknown op %d", ps.rank, req.kind)
+		return result{}, true
+	}
+}
+
+func (e *Engine) handleSend(ps *procState, req request) (result, bool) {
+	if req.peer < 0 || req.peer >= e.n {
+		e.err = fmt.Errorf("rank %d: send to invalid rank %d", ps.rank, req.peer)
+		return result{}, true
+	}
+	if req.size < 0 {
+		e.err = fmt.Errorf("rank %d: send with negative size %d", ps.rank, req.size)
+		return result{}, true
+	}
+	path := e.cfg.Deployment.Path(ps.rank, req.peer)
+	m := &message{
+		src: ps.rank, dst: req.peer, tag: req.tag, size: req.size,
+		uid: ps.sendIndex, payload: req.payload,
+		sendPost:   ps.clock,
+		senderFree: ps.mode.CommFree,
+	}
+	ps.sendIndex++
+	e.stats.Messages++
+	e.stats.Bytes += int64(req.size)
+
+	info := PtPInfo{Start: ps.clock, Src: ps.rank, Dst: req.peer,
+		Tag: req.tag, Size: req.size, SendSeq: m.uid, IsSend: true}
+
+	switch {
+	case m.senderFree:
+		m.arrival = ps.clock
+		m.senderDone = ps.clock
+		m.timingKnown = true
+	case req.size <= path.EagerLimit:
+		start := e.nicClaimTx(ps.rank, req.peer, ps.clock, req.size)
+		r := path.Eager(start, req.size)
+		m.senderDone = r.SenderDone
+		m.arrival = e.nicClaimRx(ps.rank, req.peer, r.Arrival, req.size)
+		m.timingKnown = true
+	default:
+		m.rdv = true
+	}
+
+	e.chanFor(ps.rank, req.peer).push(m)
+	e.tryMatchArrival(m)
+
+	if m.timingKnown {
+		// Eager (or free): the sender proceeds immediately.
+		info.End = m.senderDone
+		if req.kind == opSend {
+			ps.clock = m.senderDone
+			return result{now: ps.clock, ptp: info}, false
+		}
+		rs := e.newReq(ps, reqSend)
+		rs.done = true
+		rs.complete = m.senderDone
+		rs.info = info
+		// Isend still charges the local injection overhead.
+		ps.clock = m.senderDone
+		return result{now: ps.clock, reqID: rs.id}, false
+	}
+
+	// Rendezvous: completion awaits the matching receive.
+	rs := e.newReq(ps, reqSend)
+	rs.info = info
+	m.senderReq = rs
+	if m.matched {
+		// tryMatchArrival may already have bound it.
+		e.finishRendezvous(m)
+	}
+	if req.kind == opIsend {
+		return result{now: ps.clock, reqID: rs.id}, false
+	}
+	// Blocking rendezvous send = isend + wait.
+	return e.blockOnReqs(ps, []int{rs.id},
+		fmt.Sprintf("Send(dst=%d tag=%d size=%d, rendezvous)", req.peer, req.tag, req.size))
+}
+
+func (e *Engine) handleRecv(ps *procState, req request) (result, bool) {
+	if req.peer != AnySource && (req.peer < 0 || req.peer >= e.n) {
+		e.err = fmt.Errorf("rank %d: recv from invalid rank %d", ps.rank, req.peer)
+		return result{}, true
+	}
+	rs := e.newReq(ps, reqRecv)
+	pr := &postedRecv{owner: ps, src: req.peer, tag: req.tag, post: ps.clock, req: rs}
+	rs.pr = pr
+	e.pruneMatched(ps) // safe here: never called mid-iteration
+	ps.postedRecvs = append(ps.postedRecvs, pr)
+	e.tryMatchPosted(pr, req.peer == AnySource)
+
+	if req.kind == opIrecv {
+		return result{now: ps.clock, reqID: rs.id}, false
+	}
+	return e.blockOnReqs(ps, []int{rs.id},
+		fmt.Sprintf("Recv(src=%d tag=%d)", req.peer, req.tag))
+}
+
+func (e *Engine) handleWait(ps *procState, req request) (result, bool) {
+	for _, id := range req.waitIDs {
+		if _, ok := ps.reqs[id]; !ok {
+			e.err = fmt.Errorf("rank %d: wait on unknown request %d", ps.rank, id)
+			return result{}, true
+		}
+	}
+	return e.blockOnReqs(ps, req.waitIDs, fmt.Sprintf("Wait(%v)", req.waitIDs))
+}
+
+// blockOnReqs either completes immediately (all requests resolved) or
+// parks the rank until the last request completes.
+func (e *Engine) blockOnReqs(ps *procState, ids []int, desc string) (result, bool) {
+	ps.waitSet = ids
+	ps.waitPost = ps.clock
+	if res, ok := e.completeWait(ps); ok {
+		return res, false
+	}
+	ps.status = stStuck
+	ps.blockedOn = desc
+	return result{}, true
+}
+
+// completeWait checks a rank's wait set; when every request is done it
+// builds the wait result, advances the clock and clears the set.
+func (e *Engine) completeWait(ps *procState) (result, bool) {
+	if ps.waitSet == nil {
+		return result{}, false
+	}
+	end := ps.waitPost
+	for _, id := range ps.waitSet {
+		rs := ps.reqs[id]
+		if !rs.done {
+			return result{}, false
+		}
+		if rs.complete > end {
+			end = rs.complete
+		}
+	}
+	res := result{ptps: make([]PtPInfo, len(ps.waitSet))}
+	for i, id := range ps.waitSet {
+		rs := ps.reqs[id]
+		res.ptps[i] = rs.info
+		delete(ps.reqs, id)
+	}
+	ps.clock = end
+	res.now = end
+	if len(res.ptps) == 1 {
+		res.ptp = res.ptps[0]
+	}
+	ps.waitSet = nil
+	return res, true
+}
+
+func (e *Engine) newReq(ps *procState, kind reqKind) *reqState {
+	ps.nextReqID++
+	rs := &reqState{id: ps.nextReqID, kind: kind}
+	ps.reqs[rs.id] = rs
+	return rs
+}
+
+// nicClaimTx applies transmit-side NIC serialisation for inter-node
+// messages: injection cannot begin before the sender node's NIC is
+// free. Returns the effective send start and books the NIC through the
+// injection. Intra-node traffic and disabled contention pass through.
+func (e *Engine) nicClaimTx(src, dst int, start vtime.Time, size int) vtime.Time {
+	if e.nicTx == nil || e.cfg.Deployment.SameNode(src, dst) {
+		return start
+	}
+	node := e.cfg.Deployment.Place(src).Node
+	if e.nicTx[node] > start {
+		start = e.nicTx[node]
+	}
+	path := e.cfg.Deployment.Path(src, dst)
+	e.nicTx[node] = start.Add(path.SendOverhead + path.InjectTime(size))
+	return start
+}
+
+// nicClaimRx applies receive-side NIC serialisation: a message's
+// landing (its transfer-time-long tail) cannot start before the
+// receiver node's NIC drained the previous one. Returns the effective
+// arrival and books the NIC until then.
+func (e *Engine) nicClaimRx(src, dst int, arrival vtime.Time, size int) vtime.Time {
+	if e.nicRx == nil || e.cfg.Deployment.SameNode(src, dst) {
+		return arrival
+	}
+	node := e.cfg.Deployment.Place(dst).Node
+	path := e.cfg.Deployment.Path(src, dst)
+	transfer := path.TransferTime(size)
+	landStart := arrival.Add(-transfer)
+	if e.nicRx[node] > landStart {
+		landStart = e.nicRx[node]
+	}
+	arrival = landStart.Add(transfer)
+	e.nicRx[node] = arrival
+	return arrival
+}
+
+// tryMatchArrival matches a newly sent message against the
+// destination's posted receives (earliest compatible post wins).
+func (e *Engine) tryMatchArrival(m *message) {
+	dst := e.procs[m.dst]
+	for _, pr := range dst.postedRecvs {
+		if pr.matched {
+			continue
+		}
+		if pr.src != AnySource && pr.src != m.src {
+			continue
+		}
+		if pr.tag != AnyTag && pr.tag != m.tag {
+			continue
+		}
+		if pr.src == AnySource {
+			// Wildcard receives are matched only under the
+			// conservative rule; re-examined via anyStuck.
+			e.noteAnyStuck(dst)
+			return
+		}
+		// Non-overtaking: this message must be the first compatible
+		// one in its channel for this receive.
+		q := e.chanFor(m.src, m.dst)
+		if q.firstCompatible(pr.tag) != m {
+			return
+		}
+		e.bind(pr, m)
+		return
+	}
+}
+
+// tryMatchPosted matches a newly posted receive against queued
+// messages. Wildcard-source receives go through the conservative rule.
+func (e *Engine) tryMatchPosted(pr *postedRecv, wildcard bool) {
+	if wildcard {
+		if !e.resolveAny(pr, false) {
+			e.noteAnyStuck(pr.owner)
+		}
+		return
+	}
+	q := e.chanFor(pr.src, pr.owner.rank)
+	if m := q.firstCompatible(pr.tag); m != nil {
+		e.bind(pr, m)
+	}
+}
+
+func (e *Engine) noteAnyStuck(ps *procState) {
+	for _, s := range e.anyStuck {
+		if s == ps {
+			return
+		}
+	}
+	e.anyStuck = append(e.anyStuck, ps)
+}
+
+// candidate returns the best matchable message for a wildcard receive
+// and the earliest time a not-yet-seen message could arrive.
+func (e *Engine) candidate(pr *postedRecv) (best *message, bestArr vtime.Time, bound vtime.Time) {
+	bound = vtime.Infinity
+	bestArr = vtime.Infinity
+	minLat := e.cfg.Deployment.MinLatency()
+	for src := 0; src < e.n; src++ {
+		q, ok := e.channels[chanKey{src, pr.owner.rank}]
+		var m *message
+		if ok {
+			m = q.firstCompatible(pr.tag)
+		}
+		if m != nil {
+			arr := e.hypotheticalArrival(m, pr)
+			if arr < bestArr || (arr == bestArr && best != nil && m.src < best.src) {
+				best, bestArr = m, arr
+			}
+			continue
+		}
+		// No pending candidate from src: it could still send one.
+		sp := e.procs[src]
+		if src == pr.owner.rank || sp.status == stDone {
+			continue
+		}
+		lb := e.effTime(sp).Add(minLat)
+		if lb < bound {
+			bound = lb
+		}
+	}
+	return best, bestArr, bound
+}
+
+// hypotheticalArrival is the arrival time a message would have if
+// matched with the given receive now.
+func (e *Engine) hypotheticalArrival(m *message, pr *postedRecv) vtime.Time {
+	if m.timingKnown {
+		return m.arrival
+	}
+	path := e.cfg.Deployment.Path(m.src, m.dst)
+	return path.Rendezvous(m.sendPost, pr.post, m.size).Arrival
+}
+
+// resolveAny attempts to finalise a wildcard receive. With force set
+// (used when the whole system is otherwise blocked) the best candidate
+// is accepted unconditionally.
+func (e *Engine) resolveAny(pr *postedRecv, force bool) bool {
+	best, arr, bound := e.candidate(pr)
+	if best == nil {
+		return false
+	}
+	if !force && arr > bound {
+		return false
+	}
+	e.bind(pr, best)
+	return true
+}
+
+// retryAnyStuck re-examines wildcard receives. With force set it
+// accepts the globally earliest candidate across all stuck wildcard
+// receives, which is safe because no clock can otherwise advance.
+func (e *Engine) retryAnyStuck(force bool) bool {
+	if len(e.anyStuck) == 0 {
+		return false
+	}
+	progressed := false
+	if !force {
+		kept := e.anyStuck[:0]
+		for _, ps := range e.anyStuck {
+			if e.retryRankAny(ps, false) {
+				progressed = true
+			} else if e.hasOpenAny(ps) {
+				kept = append(kept, ps)
+			}
+		}
+		e.anyStuck = kept
+		return progressed
+	}
+	// Forced: pick the globally earliest candidate.
+	var bestPR *postedRecv
+	var bestMsg *message
+	bestArr := vtime.Infinity
+	for _, ps := range e.anyStuck {
+		for _, pr := range ps.postedRecvs {
+			if pr.matched || pr.src != AnySource {
+				continue
+			}
+			m, arr, _ := e.candidate(pr)
+			if m == nil {
+				continue
+			}
+			if arr < bestArr ||
+				(arr == bestArr && bestPR != nil && pr.owner.rank < bestPR.owner.rank) {
+				bestPR, bestMsg, bestArr = pr, m, arr
+			}
+		}
+	}
+	if bestPR == nil {
+		return false
+	}
+	e.bind(bestPR, bestMsg)
+	e.pruneAnyStuck()
+	return true
+}
+
+func (e *Engine) retryRankAny(ps *procState, force bool) bool {
+	progressed := false
+	for _, pr := range ps.postedRecvs {
+		if pr.matched || pr.src != AnySource {
+			continue
+		}
+		if e.resolveAny(pr, force) {
+			progressed = true
+		}
+	}
+	return progressed
+}
+
+func (e *Engine) hasOpenAny(ps *procState) bool {
+	for _, pr := range ps.postedRecvs {
+		if !pr.matched && pr.src == AnySource {
+			return true
+		}
+	}
+	return false
+}
+
+func (e *Engine) pruneAnyStuck() {
+	kept := e.anyStuck[:0]
+	for _, ps := range e.anyStuck {
+		if e.hasOpenAny(ps) {
+			kept = append(kept, ps)
+		}
+	}
+	e.anyStuck = kept
+}
+
+// bind commits a (receive, message) match, computes all timings, and
+// wakes whichever ranks the resolution unblocks.
+func (e *Engine) bind(pr *postedRecv, m *message) {
+	pr.matched = true
+	m.matched = true
+	ps := pr.owner
+
+	if m.rdv && !m.timingKnown {
+		path := e.cfg.Deployment.Path(m.src, m.dst)
+		start := e.nicClaimTx(m.src, m.dst, m.sendPost, m.size)
+		r := path.Rendezvous(start, pr.post, m.size)
+		m.senderDone = r.SenderDone
+		m.arrival = e.nicClaimRx(m.src, m.dst, r.Arrival, m.size)
+		m.timingKnown = true
+	}
+
+	complete := vtime.Max(pr.post, m.arrival)
+	if !ps.mode.CommFree {
+		path := e.cfg.Deployment.Path(m.src, m.dst)
+		complete = complete.Add(path.RecvOverhead)
+	}
+	rs := pr.req
+	rs.done = true
+	rs.complete = complete
+	rs.info = PtPInfo{
+		Start: pr.post, End: complete,
+		Src: m.src, Dst: m.dst, Tag: m.tag, Size: m.size,
+		SendSeq: m.uid, Payload: m.payload,
+	}
+
+	e.chanFor(m.src, m.dst).compact()
+
+	if m.senderReq != nil {
+		e.finishRendezvous(m)
+	}
+	e.maybeWake(ps)
+}
+
+// finishRendezvous completes the sender side of a matched rendezvous
+// message.
+func (e *Engine) finishRendezvous(m *message) {
+	rs := m.senderReq
+	if rs == nil || rs.done {
+		return
+	}
+	rs.done = true
+	rs.complete = m.senderDone
+	rs.info.End = m.senderDone
+	m.senderReq = nil
+	e.maybeWake(e.procs[m.src])
+}
+
+// maybeWake promotes a stuck rank to ready if its wait set resolved.
+// The running rank is left alone; its own handler completes the wait.
+func (e *Engine) maybeWake(ps *procState) {
+	if ps.status != stStuck || ps.waitSet == nil {
+		return
+	}
+	for _, id := range ps.waitSet {
+		if rs := ps.reqs[id]; rs == nil || !rs.done {
+			return
+		}
+	}
+	res, ok := e.completeWait(ps)
+	if !ok {
+		return
+	}
+	ps.pending = res
+	ps.wake = res.now
+	ps.status = stReady
+	ps.blockedOn = ""
+}
+
+func (e *Engine) pruneMatched(ps *procState) {
+	kept := ps.postedRecvs[:0]
+	for _, pr := range ps.postedRecvs {
+		if !pr.matched {
+			kept = append(kept, pr)
+		}
+	}
+	ps.postedRecvs = kept
+}

@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"pas2p/internal/network"
+	"pas2p/internal/vtime"
+)
+
+// errAborted is the panic value used to unwind rank goroutines when
+// the engine aborts a run.
+var errAborted = &struct{ s string }{"sim: run aborted"}
+
+// Proc is a rank's handle onto the simulation. All methods must be
+// called from the rank's own goroutine (the Body function); they block
+// in virtual time as the corresponding MPI operations would.
+type Proc struct {
+	eng *Engine
+	st  *procState
+}
+
+// Rank returns this process's rank id.
+func (p *Proc) Rank() int { return p.st.rank }
+
+// Size returns the number of ranks in the run.
+func (p *Proc) Size() int { return p.eng.n }
+
+// Now returns the rank's current virtual clock.
+func (p *Proc) Now() vtime.Time { return p.st.clock }
+
+// await blocks the goroutine until the scheduler resumes it.
+func (p *Proc) await() result {
+	res := <-p.st.resume
+	if res.aborted {
+		panic(errAborted)
+	}
+	return res
+}
+
+func (p *Proc) call(req request) result {
+	req.rank = p.st.rank
+	p.eng.reqCh <- req
+	return p.await()
+}
+
+// Advance consumes virtual compute time (already converted by the
+// caller via the deployment's ComputeTime, or a raw duration for
+// overheads). The rank's mode may scale or nullify it.
+func (p *Proc) Advance(d vtime.Duration) {
+	if d <= 0 {
+		return
+	}
+	p.call(request{kind: opAdvance, dur: d})
+}
+
+// SetMode changes how this rank's subsequent operations are costed.
+func (p *Proc) SetMode(m Mode) {
+	p.call(request{kind: opSetMode, mode: m})
+}
+
+// Mode returns the rank's current costing mode.
+func (p *Proc) Mode() Mode { return p.st.mode }
+
+// Send transmits size bytes (with an optional payload of real data) to
+// dst and blocks until the send completes locally (eager) or the
+// transfer finishes (rendezvous). It reports the operation's timing.
+func (p *Proc) Send(dst, tag, size int, payload any) PtPInfo {
+	res := p.call(request{kind: opSend, peer: dst, tag: tag, size: size, payload: payload})
+	return res.ptp
+}
+
+// Recv blocks until a matching message (src/tag may be AnySource /
+// AnyTag) is delivered, returning its metadata and payload.
+func (p *Proc) Recv(src, tag int) PtPInfo {
+	res := p.call(request{kind: opRecv, peer: src, tag: tag})
+	return res.ptp
+}
+
+// Isend starts a send and returns a request id to pass to Wait.
+func (p *Proc) Isend(dst, tag, size int, payload any) int {
+	res := p.call(request{kind: opIsend, peer: dst, tag: tag, size: size, payload: payload})
+	return res.reqID
+}
+
+// Irecv posts a receive and returns a request id to pass to Wait.
+func (p *Proc) Irecv(src, tag int) int {
+	res := p.call(request{kind: opIrecv, peer: src, tag: tag})
+	return res.reqID
+}
+
+// Wait blocks until all given requests complete and returns their
+// timings in argument order.
+func (p *Proc) Wait(ids ...int) []PtPInfo {
+	if len(ids) == 0 {
+		return nil
+	}
+	res := p.call(request{kind: opWait, waitIDs: ids})
+	return res.ptps
+}
+
+// Collective executes one synchronising collective operation over the
+// given members (which must include the caller). ctx distinguishes
+// communicators; every member must call collectives on a ctx in the
+// same order. The returned CollInfo carries all members' payload
+// contributions so the caller can apply the operation's data
+// semantics.
+func (p *Proc) Collective(op network.CollectiveOp, ctx int, members []int, root, size int, payload any) CollInfo {
+	res := p.call(request{
+		kind: opCollective, collOp: op, collCtx: ctx,
+		collMembers: members, collRoot: root, size: size, payload: payload,
+	})
+	return res.coll
+}

@@ -1,0 +1,421 @@
+// Package sim is a deterministic discrete-event simulator for
+// message-passing programs. Each rank of a parallel application runs
+// as a goroutine executing real Go code; whenever it performs a
+// communication or declares computation, control passes to a
+// sequential scheduler that advances virtual clocks using the machine
+// and network models of packages machine and network.
+//
+// Exactly one goroutine (either the scheduler or a single rank) runs
+// at any instant, and every scheduling decision uses deterministic
+// tie-breaking, so a given program on a given deployment always
+// produces bit-identical virtual timings. This property is what lets
+// the PAS2P checkpoint substrate replace state capture with replay.
+//
+// The blocking rules implement standard MPI point-to-point semantics:
+// eager messages complete locally, rendezvous messages wait for the
+// matching receive, matching is non-overtaking per (source, tag), and
+// wildcard-source receives are resolved with a conservative rule that
+// only commits to a match when no other rank could still produce an
+// earlier-arriving message.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pas2p/internal/machine"
+	"pas2p/internal/vtime"
+)
+
+// AnySource and AnyTag are wildcard values for Recv/Irecv.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// Config describes one simulated run.
+type Config struct {
+	// Deployment maps ranks onto a modelled cluster.
+	Deployment *machine.Deployment
+	// Body is the program executed by every rank.
+	Body func(p *Proc)
+	// Name labels the run in error messages.
+	Name string
+	// NICContention serialises inter-node messages on each node's
+	// network interface: a message cannot begin injection before the
+	// sender node's NIC finished the previous one, and cannot start
+	// landing before the receiver node's NIC is free. Off by default
+	// (infinite link capacity, the classic LogGP assumption).
+	NICContention bool
+	// AlgorithmicCollectives costs collectives by walking the standard
+	// algorithms' rounds over the actual member paths (binomial trees,
+	// recursive doubling, rings), so members complete at individually
+	// skewed instants instead of one analytic completion time.
+	AlgorithmicCollectives bool
+}
+
+// Result summarises a completed run.
+type Result struct {
+	// Finish is the virtual time at which the last rank finished: the
+	// application execution time.
+	Finish vtime.Time
+	// RankFinish holds each rank's individual finish time.
+	RankFinish []vtime.Time
+	// Messages and Bytes count point-to-point traffic; Collectives
+	// counts collective operations (one per operation, not per rank).
+	Messages    int64
+	Bytes       int64
+	Collectives int64
+}
+
+type procStatus int8
+
+const (
+	stReady   procStatus = iota // has a known wake time, waiting to run
+	stRunning                   // currently executing Go code
+	stStuck                     // blocked on an unresolved operation
+	stDone
+)
+
+// procState is the scheduler's view of one rank.
+type procState struct {
+	rank   int
+	clock  vtime.Time
+	wake   vtime.Time
+	status procStatus
+
+	resume chan result
+
+	// pending holds the result to deliver at the next resume.
+	pending result
+
+	mode Mode
+
+	// nonblocking request bookkeeping
+	nextReqID int
+	reqs      map[int]*reqState
+	// waitSet is the set of request ids a stuck rank is waiting on
+	// (blocking ops use a singleton set).
+	waitSet  []int
+	waitPost vtime.Time
+
+	// postedRecvs in post order, matched entries pruned lazily.
+	postedRecvs []*postedRecv
+
+	// per-context collective sequence counters
+	collSeq map[int]int
+
+	blockedOn string
+	sendIndex int64 // per-sender message counter (message uids)
+}
+
+// Mode adjusts how a rank's operations are costed; the signature
+// executor uses it to fast-forward between phases (free mode, as if
+// restored from a checkpoint) and to model cold-cache warm-up.
+type Mode struct {
+	// ComputeScale multiplies declared computation time. 1 is normal,
+	// 0 skips compute cost entirely, >1 models a cold machine.
+	ComputeScale float64
+	// CommFree makes this rank's sends and receives instantaneous.
+	CommFree bool
+}
+
+// NormalMode is the default costing.
+var NormalMode = Mode{ComputeScale: 1}
+
+type message struct {
+	src, dst, tag, size int
+	uid                 int64
+	payload             any
+	sendPost            vtime.Time
+	arrival             vtime.Time
+	senderDone          vtime.Time
+	rdv                 bool
+	timingKnown         bool
+	matched             bool
+	senderFree          bool
+	// senderReq, when non-nil, is a rendezvous send request whose
+	// completion is pending on the match.
+	senderReq *reqState
+}
+
+type postedRecv struct {
+	owner    *procState
+	src, tag int
+	post     vtime.Time
+	req      *reqState
+	matched  bool
+}
+
+type reqKind int8
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+type reqState struct {
+	id       int
+	kind     reqKind
+	done     bool
+	complete vtime.Time
+	info     PtPInfo
+	pr       *postedRecv
+}
+
+type chanKey struct{ src, dst int }
+
+type collKey struct {
+	ctx, seq int
+}
+
+type collState struct {
+	op      int // network.CollectiveOp
+	members []int
+	root    int
+	size    int
+	arrived int
+	tmax    vtime.Time
+	// arrivals and payloads are indexed by position in members.
+	arrivals []vtime.Time
+	payloads []any
+	freeAll  bool
+}
+
+// Engine drives one run. It lives on the scheduler goroutine; rank
+// goroutines interact with it only through channels.
+type Engine struct {
+	cfg   Config
+	n     int
+	procs []*procState
+	reqCh chan request
+
+	channels map[chanKey]*msgQueue
+	colls    map[collKey]*collState
+
+	// Per-node NIC availability (transmit / receive sides), used when
+	// Config.NICContention is set.
+	nicTx, nicRx []vtime.Time
+
+	// anyStuck lists ranks stuck on a wildcard-source receive; they
+	// are re-examined whenever clocks advance.
+	anyStuck []*procState
+
+	doneCount int
+	err       error
+
+	stats Result
+}
+
+type msgQueue struct{ q []*message }
+
+// Run executes the configured program to completion and returns the
+// timing result. It returns an error on deadlock, on inconsistent
+// collective calls, or if any rank panics.
+func Run(cfg Config) (Result, error) {
+	if cfg.Deployment == nil {
+		return Result{}, fmt.Errorf("sim %q: nil deployment", cfg.Name)
+	}
+	if cfg.Body == nil {
+		return Result{}, fmt.Errorf("sim %q: nil body", cfg.Name)
+	}
+	e := &Engine{
+		cfg:      cfg,
+		n:        cfg.Deployment.Ranks,
+		reqCh:    make(chan request),
+		channels: make(map[chanKey]*msgQueue),
+		colls:    make(map[collKey]*collState),
+	}
+	if cfg.NICContention {
+		nodes := cfg.Deployment.Cluster.Nodes
+		e.nicTx = make([]vtime.Time, nodes)
+		e.nicRx = make([]vtime.Time, nodes)
+	}
+	e.procs = make([]*procState, e.n)
+	for i := 0; i < e.n; i++ {
+		ps := &procState{
+			rank:    i,
+			status:  stReady,
+			resume:  make(chan result),
+			reqs:    make(map[int]*reqState),
+			collSeq: make(map[int]int),
+			mode:    NormalMode,
+			pending: result{},
+		}
+		e.procs[i] = ps
+		p := &Proc{eng: e, st: ps}
+		go rankMain(p, cfg.Body)
+	}
+	e.loop()
+	if e.err != nil {
+		e.abort()
+		return Result{}, fmt.Errorf("sim %q: %w", cfg.Name, e.err)
+	}
+	e.stats.RankFinish = make([]vtime.Time, e.n)
+	for i, ps := range e.procs {
+		e.stats.RankFinish[i] = ps.clock
+		if ps.clock > e.stats.Finish {
+			e.stats.Finish = ps.clock
+		}
+	}
+	return e.stats, nil
+}
+
+// rankMain is the goroutine wrapper for one rank.
+func rankMain(p *Proc, body func(*Proc)) {
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errAborted {
+				return // engine is shutting down
+			}
+			p.eng.reqCh <- request{rank: p.st.rank, kind: opPanic,
+				panicVal: fmt.Sprintf("%v", r)}
+		}
+	}()
+	p.await() // wait for the first schedule
+	body(p)
+	p.eng.reqCh <- request{rank: p.st.rank, kind: opDone}
+}
+
+// loop is the scheduler: repeatedly run the earliest ready rank; when
+// none is ready, resolve a conservative wildcard receive; otherwise
+// report deadlock.
+func (e *Engine) loop() {
+	for e.doneCount < e.n && e.err == nil {
+		e.retryAnyStuck(false)
+		r := e.pickReady()
+		if r == nil {
+			if e.retryAnyStuck(true) {
+				continue
+			}
+			e.err = e.deadlockError()
+			return
+		}
+		e.runRank(r)
+	}
+}
+
+func (e *Engine) pickReady() *procState {
+	var best *procState
+	for _, ps := range e.procs {
+		if ps.status != stReady {
+			continue
+		}
+		if best == nil || ps.wake < best.wake {
+			best = ps
+		}
+	}
+	return best
+}
+
+// runRank resumes one rank and services its requests until it blocks,
+// finishes, or fails.
+func (e *Engine) runRank(ps *procState) {
+	ps.status = stRunning
+	if ps.wake > ps.clock {
+		ps.clock = ps.wake
+	}
+	ps.resume <- ps.pending
+	for e.err == nil {
+		req := <-e.reqCh
+		if req.rank != ps.rank {
+			// Can only happen if a rank goroutine escaped the
+			// protocol; treat as fatal.
+			e.err = fmt.Errorf("protocol violation: request from rank %d while %d runs", req.rank, ps.rank)
+			return
+		}
+		res, blocked := e.handle(ps, req)
+		if e.err != nil || blocked {
+			return
+		}
+		if ps.status == stDone {
+			return
+		}
+		ps.resume <- res
+	}
+}
+
+// abort unblocks every live rank goroutine with a poison result so the
+// process does not leak goroutines after a failed run.
+func (e *Engine) abort() {
+	for _, ps := range e.procs {
+		if ps.status == stDone {
+			continue
+		}
+		// Running rank is already back in the scheduler (handle
+		// returned with err set) waiting on resume; stuck and ready
+		// ranks also wait on resume.
+		select {
+		case ps.resume <- result{aborted: true}:
+		default:
+			// The rank is mid-request send; drain it first.
+			go func(c chan result) { c <- result{aborted: true} }(ps.resume)
+		}
+	}
+}
+
+func (e *Engine) deadlockError() error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "deadlock: %d of %d ranks blocked", e.n-e.doneCount, e.n)
+	var ranks []int
+	for _, ps := range e.procs {
+		if ps.status != stDone {
+			ranks = append(ranks, ps.rank)
+		}
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		ps := e.procs[r]
+		fmt.Fprintf(&b, "\n  rank %d @ %v: %s", r, ps.clock, ps.blockedOn)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// effTime is a lower bound on the virtual time at which a rank could
+// next initiate a send.
+func (e *Engine) effTime(ps *procState) vtime.Time {
+	if ps.status == stReady && ps.wake > ps.clock {
+		return ps.wake
+	}
+	return ps.clock
+}
+
+func (e *Engine) chanFor(src, dst int) *msgQueue {
+	k := chanKey{src, dst}
+	q := e.channels[k]
+	if q == nil {
+		q = &msgQueue{}
+		e.channels[k] = q
+	}
+	return q
+}
+
+// firstCompatible returns the earliest-sequence unmatched message in q
+// matching the tag filter.
+func (q *msgQueue) firstCompatible(tag int) *message {
+	for _, m := range q.q {
+		if m.matched {
+			continue
+		}
+		if tag == AnyTag || m.tag == tag {
+			return m
+		}
+	}
+	return nil
+}
+
+func (q *msgQueue) push(m *message) {
+	q.q = append(q.q, m)
+}
+
+// compact drops the matched prefix so queues stay short.
+func (q *msgQueue) compact() {
+	i := 0
+	for i < len(q.q) && q.q[i].matched {
+		i++
+	}
+	if i > 0 {
+		q.q = append(q.q[:0], q.q[i:]...)
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"pas2p/internal/vtime"
+)
+
+func syntheticTrace(events int) *Trace {
+	evs := make([]Event, events)
+	var tphys vtime.Time
+	for i := range evs {
+		tphys += 1000
+		kind := Send
+		if i%2 == 1 {
+			kind = Recv
+		}
+		evs[i] = Event{
+			Process: 0, Number: int64(i), Kind: kind, Involved: 2,
+			CollOp: -1, Peer: 1, Tag: int32(i % 4), Size: 4096,
+			Enter: tphys, Exit: tphys + 500,
+			RelA: 0, RelB: int64(i / 2), ComputeBefore: 500,
+		}
+	}
+	tr, err := NewTrace("bench", 1, [][]Event{evs}, vtime.Duration(tphys))
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// BenchmarkEncode measures binary tracefile writing throughput.
+func BenchmarkEncode(b *testing.B) {
+	tr := syntheticTrace(10000)
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.SetBytes(EncodedSize(tr))
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Encode(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecode measures binary tracefile reading throughput.
+func BenchmarkDecode(b *testing.B) {
+	tr := syntheticTrace(10000)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompress measures the ScalaTrace-style codec's throughput
+// and reports the achieved ratio on a repetitive stream.
+func BenchmarkCompress(b *testing.B) {
+	streams := make([][]Event, 4)
+	for p := 0; p < 4; p++ {
+		streams[p] = iterativeStream(p, 2500)
+		for i := range streams[p] {
+			if streams[p][i].Kind == Recv {
+				streams[p][i].RelA = int64(p)
+			}
+		}
+	}
+	tr, err := NewTrace("zbench", 4, streams, 1e9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var flat bytes.Buffer
+	if err := Encode(&flat, tr); err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.SetBytes(int64(flat.Len()))
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := Compress(&buf, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(flat.Len())/float64(buf.Len()), "ratio")
+}

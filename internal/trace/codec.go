@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"pas2p/internal/vtime"
+)
+
+// Binary tracefile layout: a fixed header followed by one fixed-size
+// little-endian record per event. The format exists so tracefile sizes
+// (Table 8's TFSize column) and analysis input costs are realistic,
+// and so traces can be moved between the analyze/signature stages of
+// the CLI.
+
+var magic = [8]byte{'P', 'A', 'S', '2', 'P', 'T', 'R', '1'}
+
+const recordSize = 8 + // ID
+	4 + 8 + // Process, Number
+	1 + 4 + 1 + // Kind, Involved, CollOp
+	4 + 4 + 8 + // Peer, Tag, Size
+	8 + 8 + // Enter, Exit
+	8 + // LT
+	8 + 8 + // RelA, RelB
+	8 // ComputeBefore
+
+// EncodedSize returns the exact tracefile size in bytes for a trace.
+func EncodedSize(t *Trace) int64 {
+	return int64(8+2+2+4+8+8+len(t.AppName)) + int64(len(t.Events))*recordSize
+}
+
+// Encode writes the binary tracefile format.
+func Encode(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	if len(t.AppName) > 0xffff {
+		return fmt.Errorf("trace: app name too long")
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(t.AppName)))
+	binary.LittleEndian.PutUint16(hdr[2:], 0) // reserved
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.Procs))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(t.Events)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(t.AET))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.AppName); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for i := range t.Events {
+		e := &t.Events[i]
+		b := rec[:]
+		le := binary.LittleEndian
+		le.PutUint64(b[0:], uint64(e.ID))
+		le.PutUint32(b[8:], uint32(e.Process))
+		le.PutUint64(b[12:], uint64(e.Number))
+		b[20] = byte(e.Kind)
+		le.PutUint32(b[21:], uint32(e.Involved))
+		b[25] = byte(e.CollOp)
+		le.PutUint32(b[26:], uint32(e.Peer))
+		le.PutUint32(b[30:], uint32(e.Tag))
+		le.PutUint64(b[34:], uint64(e.Size))
+		le.PutUint64(b[42:], uint64(e.Enter))
+		le.PutUint64(b[50:], uint64(e.Exit))
+		le.PutUint64(b[58:], uint64(e.LT))
+		le.PutUint64(b[66:], uint64(e.RelA))
+		le.PutUint64(b[74:], uint64(e.RelB))
+		le.PutUint64(b[82:], uint64(e.ComputeBefore))
+		if _, err := bw.Write(b); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads the binary tracefile format.
+func Decode(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", m[:])
+	}
+	var hdr [24]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(hdr[0:]))
+	procs := int(binary.LittleEndian.Uint32(hdr[4:]))
+	count := binary.LittleEndian.Uint64(hdr[8:])
+	aet := vtime.Duration(binary.LittleEndian.Uint64(hdr[16:]))
+	if procs <= 0 || procs > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible process count %d", procs)
+	}
+	if count > 1<<36 {
+		return nil, fmt.Errorf("trace: implausible event count %d", count)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading app name: %w", err)
+	}
+	t := &Trace{AppName: string(name), Procs: procs, AET: aet,
+		Events: make([]Event, count)}
+	var rec [recordSize]byte
+	for i := range t.Events {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
+		}
+		b := rec[:]
+		le := binary.LittleEndian
+		e := &t.Events[i]
+		e.ID = int64(le.Uint64(b[0:]))
+		e.Process = int32(le.Uint32(b[8:]))
+		e.Number = int64(le.Uint64(b[12:]))
+		e.Kind = Kind(b[20])
+		e.Involved = int32(le.Uint32(b[21:]))
+		e.CollOp = int8(b[25])
+		e.Peer = int32(le.Uint32(b[26:]))
+		e.Tag = int32(le.Uint32(b[30:]))
+		e.Size = int64(le.Uint64(b[34:]))
+		e.Enter = vtime.Time(le.Uint64(b[42:]))
+		e.Exit = vtime.Time(le.Uint64(b[50:]))
+		e.LT = int64(le.Uint64(b[58:]))
+		e.RelA = int64(le.Uint64(b[66:]))
+		e.RelB = int64(le.Uint64(b[74:]))
+		e.ComputeBefore = vtime.Duration(le.Uint64(b[82:]))
+	}
+	return t, nil
+}
+
+// EncodeJSON writes a human-readable trace, mainly for debugging and
+// the examples.
+func EncodeJSON(w io.Writer, t *Trace) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(t)
+}
+
+// DecodeJSON reads a trace written by EncodeJSON.
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSON: %w", err)
+	}
+	return &t, nil
+}

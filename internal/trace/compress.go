@@ -1,0 +1,475 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"pas2p/internal/vtime"
+)
+
+// Compressed tracefile format. The paper cites tracefile size as the
+// scalability problem of trace-based analysis (§2, Noeth et al. [20],
+// ScalaTrace); this codec exploits exactly the property PAS2P itself
+// relies on — repetitive communication structure — to shrink
+// tracefiles losslessly:
+//
+//   - each event's structural fields (kind, collective op, peer offset,
+//     tag, size, involved count) collapse into a dictionary of
+//     templates; iterative applications have very few distinct ones;
+//   - the per-rank template-id sequence is run-length encoded over
+//     tandem block repeats (loops compress to one block + a count);
+//   - times are stored as varint deltas (inter-event gap and service
+//     time), which are small and repetitive;
+//   - relations are stored as varint deltas against their expected
+//     progression (per-channel send counters).
+//
+// Decompression reproduces the trace bit-for-bit (including global
+// IDs, which are reassigned by the same deterministic rule).
+
+var magicZ = [8]byte{'P', 'A', 'S', '2', 'P', 'T', 'Z', '1'}
+
+// template is the structural part of an event.
+type template struct {
+	kind     Kind
+	involved int32
+	collOp   int8
+	peerOff  int32 // peer - process; peerNone for collectives
+	tag      int32
+	size     int64
+}
+
+const peerNone = int32(-1 << 20)
+
+func templateOf(e *Event) template {
+	off := peerNone
+	if e.Peer >= 0 {
+		off = e.Peer - e.Process
+	}
+	return template{kind: e.Kind, involved: e.Involved, collOp: e.CollOp,
+		peerOff: off, tag: e.Tag, size: e.Size}
+}
+
+// CompressOptions tunes the loop detector.
+type CompressOptions struct {
+	// MaxBlock is the largest tandem-repeat block length searched.
+	MaxBlock int
+}
+
+// Compress writes the compressed tracefile format.
+func Compress(w io.Writer, t *Trace) error {
+	return CompressWith(w, t, CompressOptions{MaxBlock: 64})
+}
+
+// CompressWith writes the compressed format with explicit options.
+func CompressWith(w io.Writer, t *Trace, opts CompressOptions) error {
+	if opts.MaxBlock <= 0 {
+		opts.MaxBlock = 64
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(magicZ[:]); err != nil {
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	putV := func(v int64) error {
+		n := binary.PutVarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+
+	if err := putUv(uint64(len(t.AppName))); err != nil {
+		return err
+	}
+	if _, err := bw.WriteString(t.AppName); err != nil {
+		return err
+	}
+	if err := putUv(uint64(t.Procs)); err != nil {
+		return err
+	}
+	if err := putUv(uint64(t.AET)); err != nil {
+		return err
+	}
+
+	per := t.PerProcess()
+
+	// Global template dictionary.
+	dict := map[template]uint64{}
+	var order []template
+	for _, evs := range per {
+		for i := range evs {
+			tp := templateOf(&evs[i])
+			if _, ok := dict[tp]; !ok {
+				dict[tp] = uint64(len(order))
+				order = append(order, tp)
+			}
+		}
+	}
+	if err := putUv(uint64(len(order))); err != nil {
+		return err
+	}
+	for _, tp := range order {
+		if err := putUv(uint64(tp.kind)); err != nil {
+			return err
+		}
+		if err := putV(int64(tp.involved)); err != nil {
+			return err
+		}
+		if err := putV(int64(tp.collOp)); err != nil {
+			return err
+		}
+		if err := putV(int64(tp.peerOff)); err != nil {
+			return err
+		}
+		if err := putV(int64(tp.tag)); err != nil {
+			return err
+		}
+		if err := putUv(uint64(tp.size)); err != nil {
+			return err
+		}
+	}
+
+	// Per-process streams.
+	for p, evs := range per {
+		if err := putUv(uint64(len(evs))); err != nil {
+			return err
+		}
+		// Template ids with tandem-repeat RLE.
+		ids := make([]uint64, len(evs))
+		for i := range evs {
+			ids[i] = dict[templateOf(&evs[i])]
+		}
+		if err := rleEncode(ids, opts.MaxBlock, putUv); err != nil {
+			return err
+		}
+		// Times: gap since previous exit, service time, plus the
+		// compute-before correction when it differs from the gap.
+		var prevExit vtime.Time
+		for i := range evs {
+			e := &evs[i]
+			gap := int64(e.Enter - prevExit)
+			if err := putV(gap); err != nil {
+				return err
+			}
+			if err := putUv(uint64(e.Exit - e.Enter)); err != nil {
+				return err
+			}
+			corr := int64(e.ComputeBefore) - gap
+			if err := putV(corr); err != nil {
+				return err
+			}
+			prevExit = e.Exit
+		}
+		// Relations: delta against expectation. For sends the expected
+		// RelA is the process itself and RelB counts up; receives and
+		// collectives store raw varints (they are small counters).
+		var sendSeq int64
+		for i := range evs {
+			e := &evs[i]
+			if e.Kind == Send {
+				if err := putV(e.RelA - int64(p)); err != nil {
+					return err
+				}
+				if err := putV(e.RelB - sendSeq); err != nil {
+					return err
+				}
+				sendSeq++
+			} else {
+				if err := putV(e.RelA); err != nil {
+					return err
+				}
+				if err := putV(e.RelB); err != nil {
+					return err
+				}
+			}
+		}
+		// Logical times (usually all NoLT in fresh traces).
+		allNo := true
+		for i := range evs {
+			if evs[i].LT != NoLT {
+				allNo = false
+				break
+			}
+		}
+		flag := uint64(0)
+		if allNo {
+			flag = 1
+		}
+		if err := putUv(flag); err != nil {
+			return err
+		}
+		if !allNo {
+			for i := range evs {
+				if err := putV(evs[i].LT); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// rleEncode emits the id sequence as tokens: either (0, id) for a
+// literal or (blockLen, count) pairs for a tandem repeat of the
+// preceding blockLen ids.
+func rleEncode(ids []uint64, maxBlock int, putUv func(uint64) error) error {
+	i := 0
+	for i < len(ids) {
+		// Find the best tandem repeat of a block ending at i.
+		bestLen, bestCount := 0, 0
+		for bl := 1; bl <= maxBlock && bl <= i; bl++ {
+			count := 0
+			for i+(count+1)*bl <= len(ids) && equalBlocks(ids, i-bl, i+count*bl, bl) {
+				count++
+			}
+			if count > 0 && count*bl > bestCount*bestLen {
+				bestLen, bestCount = bl, count
+			}
+		}
+		if bestCount*bestLen >= 3 { // worth a token
+			if err := putUv(uint64(bestLen)); err != nil {
+				return err
+			}
+			if err := putUv(uint64(bestCount)); err != nil {
+				return err
+			}
+			i += bestLen * bestCount
+			continue
+		}
+		if err := putUv(0); err != nil {
+			return err
+		}
+		if err := putUv(ids[i]); err != nil {
+			return err
+		}
+		i++
+	}
+	return nil
+}
+
+func equalBlocks(ids []uint64, a, b, n int) bool {
+	for k := 0; k < n; k++ {
+		if ids[a+k] != ids[b+k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Decompress reads the compressed tracefile format.
+func Decompress(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if m != magicZ {
+		return nil, fmt.Errorf("trace: bad compressed magic %q", m[:])
+	}
+	getUv := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getV := func() (int64, error) { return binary.ReadVarint(br) }
+
+	nameLen, err := getUv()
+	if err != nil {
+		return nil, err
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("trace: implausible name length")
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	procsU, err := getUv()
+	if err != nil {
+		return nil, err
+	}
+	procs := int(procsU)
+	if procs <= 0 || procs > 1<<20 {
+		return nil, fmt.Errorf("trace: implausible process count %d", procs)
+	}
+	aetU, err := getUv()
+	if err != nil {
+		return nil, err
+	}
+
+	nTemplates, err := getUv()
+	if err != nil {
+		return nil, err
+	}
+	if nTemplates > 1<<24 {
+		return nil, fmt.Errorf("trace: implausible template count")
+	}
+	templates := make([]template, nTemplates)
+	for i := range templates {
+		k, err := getUv()
+		if err != nil {
+			return nil, err
+		}
+		inv, err := getV()
+		if err != nil {
+			return nil, err
+		}
+		co, err := getV()
+		if err != nil {
+			return nil, err
+		}
+		po, err := getV()
+		if err != nil {
+			return nil, err
+		}
+		tg, err := getV()
+		if err != nil {
+			return nil, err
+		}
+		sz, err := getUv()
+		if err != nil {
+			return nil, err
+		}
+		templates[i] = template{kind: Kind(k), involved: int32(inv), collOp: int8(co),
+			peerOff: int32(po), tag: int32(tg), size: int64(sz)}
+	}
+
+	streams := make([][]Event, procs)
+	for p := 0; p < procs; p++ {
+		count, err := getUv()
+		if err != nil {
+			return nil, err
+		}
+		if count > 1<<32 {
+			return nil, fmt.Errorf("trace: implausible event count")
+		}
+		ids, err := rleDecode(int(count), getUv)
+		if err != nil {
+			return nil, err
+		}
+		evs := make([]Event, count)
+		for i := range evs {
+			if ids[i] >= uint64(len(templates)) {
+				return nil, fmt.Errorf("trace: template id out of range")
+			}
+			tp := templates[ids[i]]
+			peer := int32(-1)
+			if tp.peerOff != peerNone {
+				peer = int32(p) + tp.peerOff
+			}
+			evs[i] = Event{
+				Process: int32(p), Number: int64(i),
+				Kind: tp.kind, Involved: tp.involved, CollOp: tp.collOp,
+				Peer: peer, Tag: tp.tag, Size: tp.size, LT: NoLT,
+			}
+		}
+		var prevExit vtime.Time
+		for i := range evs {
+			gap, err := getV()
+			if err != nil {
+				return nil, err
+			}
+			service, err := getUv()
+			if err != nil {
+				return nil, err
+			}
+			corr, err := getV()
+			if err != nil {
+				return nil, err
+			}
+			evs[i].Enter = prevExit.Add(vtime.Duration(gap))
+			evs[i].Exit = evs[i].Enter.Add(vtime.Duration(service))
+			evs[i].ComputeBefore = vtime.Duration(gap + corr)
+			prevExit = evs[i].Exit
+		}
+		var sendSeq int64
+		for i := range evs {
+			ra, err := getV()
+			if err != nil {
+				return nil, err
+			}
+			rb, err := getV()
+			if err != nil {
+				return nil, err
+			}
+			if evs[i].Kind == Send {
+				evs[i].RelA = ra + int64(p)
+				evs[i].RelB = rb + sendSeq
+				sendSeq++
+			} else {
+				evs[i].RelA = ra
+				evs[i].RelB = rb
+			}
+		}
+		flag, err := getUv()
+		if err != nil {
+			return nil, err
+		}
+		if flag == 0 {
+			for i := range evs {
+				lt, err := getV()
+				if err != nil {
+					return nil, err
+				}
+				evs[i].LT = lt
+			}
+		}
+		streams[p] = evs
+	}
+	return NewTrace(string(name), procs, streams, vtime.Duration(aetU))
+}
+
+// rleDecode expands the token stream back into count ids.
+func rleDecode(count int, getUv func() (uint64, error)) ([]uint64, error) {
+	ids := make([]uint64, 0, count)
+	for len(ids) < count {
+		tok, err := getUv()
+		if err != nil {
+			return nil, err
+		}
+		if tok == 0 {
+			id, err := getUv()
+			if err != nil {
+				return nil, err
+			}
+			ids = append(ids, id)
+			continue
+		}
+		bl := int(tok)
+		repU, err := getUv()
+		if err != nil {
+			return nil, err
+		}
+		rep := int(repU)
+		if bl > len(ids) || rep <= 0 || len(ids)+bl*rep > count {
+			return nil, fmt.Errorf("trace: corrupt repeat token (block %d x %d at %d/%d)", bl, rep, len(ids), count)
+		}
+		start := len(ids) - bl
+		for r := 0; r < rep; r++ {
+			ids = append(ids, ids[start:start+bl]...)
+		}
+	}
+	return ids, nil
+}
+
+// DecodeAny sniffs the tracefile format (flat binary, compressed, or
+// JSON) and decodes accordingly.
+func DecodeAny(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(8)
+	if err != nil {
+		return nil, fmt.Errorf("trace: sniffing format: %w", err)
+	}
+	switch {
+	case bytes.Equal(head, magic[:]):
+		return Decode(br)
+	case bytes.Equal(head, magicZ[:]):
+		return Decompress(br)
+	case head[0] == '{':
+		return DecodeJSON(br)
+	default:
+		return nil, fmt.Errorf("trace: unrecognised tracefile format (magic %q)", head)
+	}
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"pas2p/internal/vtime"
+)
+
+// Recorder accumulates the event stream of a single process during an
+// instrumented run. One Recorder belongs to one rank goroutine, so no
+// locking is needed; recorders are combined with NewTrace afterwards.
+type Recorder struct {
+	proc     int32
+	events   []Event
+	lastExit vtime.Time
+	enabled  bool
+}
+
+// NewRecorder creates a recorder for one process.
+func NewRecorder(proc int) *Recorder {
+	return &Recorder{proc: int32(proc), enabled: true}
+}
+
+// SetEnabled toggles recording; a disabled recorder drops events but
+// keeps tracking the compute baseline so re-enabling stays coherent.
+func (r *Recorder) SetEnabled(on bool) { r.enabled = on }
+
+// Record appends one event, deriving Number and ComputeBefore. The
+// caller fills the communication fields and physical times.
+func (r *Recorder) Record(e Event) {
+	if !r.enabled {
+		r.lastExit = e.Exit
+		return
+	}
+	e.Process = r.proc
+	e.Number = int64(len(r.events))
+	e.LT = NoLT
+	e.ComputeBefore = e.Enter.Sub(r.lastExit)
+	if e.ComputeBefore < 0 {
+		// Overlapping nonblocking operations: project them onto a
+		// sequential event stream by clamping to the previous exit.
+		e.ComputeBefore = 0
+		e.Enter = r.lastExit
+		if e.Exit < e.Enter {
+			e.Exit = e.Enter
+		}
+	}
+	r.lastExit = e.Exit
+	r.events = append(r.events, e)
+}
+
+// Events returns the recorded stream (aliased, not copied).
+func (r *Recorder) Events() []Event { return r.events }
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int { return len(r.events) }

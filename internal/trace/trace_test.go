@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pas2p/internal/vtime"
+)
+
+// buildTestTrace makes a small 2-process trace: p0 sends twice, p1
+// receives twice, with interleaved physical times.
+func buildTestTrace(t *testing.T) *Trace {
+	t.Helper()
+	p0 := []Event{
+		{Process: 0, Number: 0, Kind: Send, Involved: 2, CollOp: -1, Peer: 1, Tag: 7,
+			Size: 100, Enter: 10, Exit: 12, RelA: 0, RelB: 0},
+		{Process: 0, Number: 1, Kind: Send, Involved: 2, CollOp: -1, Peer: 1, Tag: 7,
+			Size: 200, Enter: 30, Exit: 33, RelA: 0, RelB: 1},
+	}
+	p1 := []Event{
+		{Process: 1, Number: 0, Kind: Recv, Involved: 2, CollOp: -1, Peer: 0, Tag: 7,
+			Size: 100, Enter: 5, Exit: 20, RelA: 0, RelB: 0},
+		{Process: 1, Number: 1, Kind: Recv, Involved: 2, CollOp: -1, Peer: 0, Tag: 7,
+			Size: 200, Enter: 25, Exit: 40, RelA: 0, RelB: 1},
+	}
+	tr, err := NewTrace("test", 2, [][]Event{p0, p1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTraceAssignsGlobalIDs(t *testing.T) {
+	tr := buildTestTrace(t)
+	// Global occurrence order by enter time: p1#0 (5), p0#0 (10),
+	// p1#1 (25), p0#1 (30).
+	per := tr.PerProcess()
+	if per[1][0].ID != 0 || per[0][0].ID != 1 || per[1][1].ID != 2 || per[0][1].ID != 3 {
+		t.Errorf("IDs: p0=%d,%d p1=%d,%d", per[0][0].ID, per[0][1].ID, per[1][0].ID, per[1][1].ID)
+	}
+}
+
+func TestNewTraceRejectsBadStreams(t *testing.T) {
+	if _, err := NewTrace("x", 2, [][]Event{{}}, 0); err == nil {
+		t.Error("stream count mismatch should fail")
+	}
+	bad := []Event{{Process: 9, Number: 0}}
+	if _, err := NewTrace("x", 1, [][]Event{bad}, 0); err == nil {
+		t.Error("wrong process id should fail")
+	}
+	bad2 := []Event{{Process: 0, Number: 5}}
+	if _, err := NewTrace("x", 1, [][]Event{bad2}, 0); err == nil {
+		t.Error("wrong numbering should fail")
+	}
+}
+
+func TestValidateCatchesOrphanRecv(t *testing.T) {
+	tr := buildTestTrace(t)
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	// Point a recv at a send that does not exist.
+	for i := range tr.Events {
+		if tr.Events[i].Kind == Recv {
+			tr.Events[i].RelB = 99
+			break
+		}
+	}
+	if err := tr.Validate(); err == nil {
+		t.Error("orphan recv should fail validation")
+	}
+}
+
+func TestTypeCode(t *testing.T) {
+	s := Event{Kind: Send, Involved: 2}
+	r := Event{Kind: Recv, Involved: 2}
+	c := Event{Kind: Collective, Involved: 64}
+	if s.TypeCode() != 2 || r.TypeCode() != -2 || c.TypeCode() != 64 {
+		t.Errorf("type codes: %d %d %d", s.TypeCode(), r.TypeCode(), c.TypeCode())
+	}
+}
+
+func TestCommSignature(t *testing.T) {
+	// Same pattern shifted across ranks compares equal.
+	a := Event{Process: 0, Kind: Send, Peer: 1, Tag: 3, CollOp: -1}
+	b := Event{Process: 5, Kind: Send, Peer: 6, Tag: 3, CollOp: -1}
+	if a.CommSignature() != b.CommSignature() {
+		t.Error("shifted identical pattern should share a signature")
+	}
+	c := Event{Process: 0, Kind: Recv, Peer: 1, Tag: 3, CollOp: -1}
+	if a.CommSignature() == c.CommSignature() {
+		t.Error("send and recv must differ")
+	}
+	d := Event{Process: 0, Kind: Send, Peer: 1, Tag: 4, CollOp: -1}
+	if a.CommSignature() == d.CommSignature() {
+		t.Error("different tags must differ")
+	}
+	e := Event{Process: 0, Kind: Collective, Peer: -1, Tag: 0, CollOp: 3}
+	f := Event{Process: 1, Kind: Collective, Peer: -1, Tag: 0, CollOp: 4}
+	if e.CommSignature() == f.CommSignature() {
+		t.Error("different collectives must differ")
+	}
+}
+
+func TestRecorderDerivesFields(t *testing.T) {
+	r := NewRecorder(3)
+	r.Record(Event{Kind: Send, Enter: 100, Exit: 120})
+	r.Record(Event{Kind: Recv, Enter: 150, Exit: 160})
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Process != 3 || evs[0].Number != 0 || evs[1].Number != 1 {
+		t.Error("process/number not derived")
+	}
+	if evs[0].ComputeBefore != 100 {
+		t.Errorf("first ComputeBefore = %v, want 100", evs[0].ComputeBefore)
+	}
+	if evs[1].ComputeBefore != 30 {
+		t.Errorf("second ComputeBefore = %v, want 30 (150-120)", evs[1].ComputeBefore)
+	}
+	if evs[0].LT != NoLT {
+		t.Error("fresh events must have no logical time")
+	}
+}
+
+func TestRecorderDisable(t *testing.T) {
+	r := NewRecorder(0)
+	r.Record(Event{Enter: 10, Exit: 20})
+	r.SetEnabled(false)
+	r.Record(Event{Enter: 30, Exit: 40})
+	r.SetEnabled(true)
+	r.Record(Event{Enter: 50, Exit: 60})
+	if r.Len() != 2 {
+		t.Fatalf("len = %d, want 2", r.Len())
+	}
+	// Compute baseline must account for the dropped event's exit.
+	if got := r.Events()[1].ComputeBefore; got != 10 {
+		t.Errorf("ComputeBefore after disabled span = %v, want 10 (50-40)", got)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := buildTestTrace(t)
+	s := tr.Stats()
+	if s.Events != 4 || s.Sends != 2 || s.Recvs != 2 || s.Collectives != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Bytes != 300 {
+		t.Errorf("bytes = %d, want 300 (send volumes only)", s.Bytes)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := buildTestTrace(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != EncodedSize(tr) {
+		t.Errorf("EncodedSize = %d, actual %d", EncodedSize(tr), buf.Len())
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := buildTestTrace(t)
+	var buf bytes.Buffer
+	if err := EncodeJSON(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("JSON round trip mismatch")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a trace at all......."))); err == nil {
+		t.Error("garbage should fail to decode")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should fail to decode")
+	}
+	// Truncated: valid header claiming events but no bodies.
+	tr := buildTestTrace(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated trace should fail to decode")
+	}
+}
+
+// Property: binary round trip preserves randomly generated traces.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 25}
+	err := quick.Check(func(seed int64, nEv uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nEv)%64 + 1
+		evs := make([]Event, n)
+		var tphys vtime.Time
+		for i := range evs {
+			tphys += vtime.Time(rng.Intn(1000) + 1)
+			evs[i] = Event{
+				Process: 0, Number: int64(i),
+				Kind:     Kind(rng.Intn(3)),
+				Involved: int32(rng.Intn(64) + 2),
+				CollOp:   int8(rng.Intn(8)) - 1,
+				Peer:     int32(rng.Intn(8)) - 1,
+				Tag:      int32(rng.Intn(100)),
+				Size:     int64(rng.Intn(1 << 20)),
+				Enter:    tphys, Exit: tphys + vtime.Time(rng.Intn(100)),
+				LT:   int64(rng.Intn(1000)) - 1,
+				RelA: int64(rng.Intn(4)), RelB: int64(rng.Intn(1000)),
+				ComputeBefore: vtime.Duration(rng.Intn(10000)),
+			}
+		}
+		tr, err := NewTrace("fuzz", 1, [][]Event{evs}, vtime.Duration(rng.Intn(1e9)))
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			return false
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(got, tr)
+	}, cfg)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerProcessGrouping(t *testing.T) {
+	tr := buildTestTrace(t)
+	per := tr.PerProcess()
+	if len(per) != 2 || len(per[0]) != 2 || len(per[1]) != 2 {
+		t.Fatalf("grouping wrong: %d/%d/%d", len(per), len(per[0]), len(per[1]))
+	}
+	for p, evs := range per {
+		for i := range evs {
+			if int(evs[i].Process) != p || evs[i].Number != int64(i) {
+				t.Errorf("proc %d idx %d holds (%d,%d)", p, i, evs[i].Process, evs[i].Number)
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Send.String() != "Send" || Recv.String() != "Recv" || Collective.String() != "Coll" {
+		t.Error("kind names wrong")
+	}
+	if Kind(9).String() != "Kind(?)" {
+		t.Error("unknown kind should stringify safely")
+	}
+}

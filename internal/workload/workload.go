@@ -1,0 +1,219 @@
+// Package workload implements the workload-effect extension of PAS2P
+// (Canillas, Wong, Rexachs, Luque — "Predicting parallel applications
+// performance using signatures: The workload effect", AICCSA 2011),
+// which the paper's Stage A points to: a signature predicts only the
+// data set it was built with, but the *phase structure* of an
+// application is stable across workload sizes — only each phase's
+// execution time and weight scale. Analysing the application at two or
+// more (small) workload sizes therefore lets PAS2P fit per-phase
+// scaling laws and extrapolate the execution time for a larger, never
+// fully executed workload.
+//
+// Phases are matched across workloads by their communication-pattern
+// fingerprint (the similarity comparison with volumes and compute
+// ignored); each matched phase gets power-law fits ET(w)=a·w^b and
+// W(w)=c·w^d over the analysed points, and the prediction applies
+// Equation (1) with the extrapolated values.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pas2p/internal/phase"
+	"pas2p/internal/vtime"
+)
+
+// Point is one analysed workload size.
+type Point struct {
+	// Param is the scalar workload parameter (problem size, nonzeros,
+	// grid volume — the caller chooses the axis).
+	Param float64
+	// Analysis is the phase analysis of the run at this size.
+	Analysis *phase.Analysis
+}
+
+// PhaseModel is the fitted scaling of one matched phase.
+type PhaseModel struct {
+	// Fingerprint identifies the phase across workloads.
+	Fingerprint uint64
+	// ET(w) = ETCoef · w^ETExp (seconds); W(w) = WCoef · w^WExp.
+	ETCoef, ETExp float64
+	WCoef, WExp   float64
+	// Points is how many analysed workloads contained the phase.
+	Points int
+}
+
+// ET extrapolates the phase execution time at a workload size.
+func (p *PhaseModel) ET(param float64) vtime.Duration {
+	return vtime.FromSeconds(p.ETCoef * math.Pow(param, p.ETExp))
+}
+
+// Weight extrapolates the phase weight at a workload size.
+func (p *PhaseModel) Weight(param float64) float64 {
+	return p.WCoef * math.Pow(param, p.WExp)
+}
+
+// Model is a fitted workload-scaling model for one application.
+type Model struct {
+	Phases []PhaseModel
+	// Unmatched counts phases that appeared in only one analysed
+	// point and were extrapolated with the global trend instead.
+	Unmatched int
+}
+
+// Predict applies Equation (1) with extrapolated phase times and
+// weights.
+func (m *Model) Predict(param float64) vtime.Duration {
+	var pet vtime.Duration
+	for i := range m.Phases {
+		p := &m.Phases[i]
+		pet += vtime.Duration(float64(p.ET(param)) * p.Weight(param))
+	}
+	return pet
+}
+
+// fingerprint hashes a phase's communication pattern, ignoring volumes
+// and compute times (which the workload changes by design).
+func fingerprint(p *phase.Phase) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(p.TickLen))
+	for _, row := range p.Cells {
+		for pr, c := range row {
+			if !c.Present {
+				continue
+			}
+			mix(uint64(pr)*2654435761 + c.Sig)
+		}
+		mix(0xabcdef)
+	}
+	return h
+}
+
+// Fit builds the scaling model from two or more analysed workload
+// points with strictly increasing parameters.
+func Fit(points []Point) (*Model, error) {
+	if len(points) < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 analysed points, have %d", len(points))
+	}
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Param < sorted[j].Param })
+	for i, pt := range sorted {
+		if pt.Param <= 0 {
+			return nil, fmt.Errorf("workload: point %d has non-positive parameter %v", i, pt.Param)
+		}
+		if i > 0 && pt.Param == sorted[i-1].Param {
+			return nil, fmt.Errorf("workload: duplicate parameter %v", pt.Param)
+		}
+		if pt.Analysis == nil || len(pt.Analysis.Phases) == 0 {
+			return nil, fmt.Errorf("workload: point %d has no phases", i)
+		}
+	}
+
+	// Collect per-fingerprint observations across points. Distinct
+	// phases of one analysis can share a fingerprint (the extractor
+	// keeps windows separate that the pattern view cannot tell apart);
+	// they are one behaviour for scaling purposes, so aggregate them
+	// per point: weights add, times combine duration-weighted.
+	series := map[uint64][]obs{}
+	for _, pt := range sorted {
+		perFP := map[uint64]*obs{}
+		var order []uint64
+		for _, p := range pt.Analysis.Phases {
+			fp := fingerprint(p)
+			o := perFP[fp]
+			if o == nil {
+				o = &obs{param: pt.Param}
+				perFP[fp] = o
+				order = append(order, fp)
+			}
+			w := float64(p.Weight())
+			et := p.MeanET().Seconds()
+			if o.w+w > 0 {
+				o.et = (o.et*o.w + et*w) / (o.w + w)
+			}
+			o.w += w
+		}
+		for _, fp := range order {
+			series[fp] = append(series[fp], *perFP[fp])
+		}
+	}
+
+	m := &Model{}
+	var fps []uint64
+	for fp := range series {
+		fps = append(fps, fp)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	for _, fp := range fps {
+		os := series[fp]
+		if len(os) < 2 {
+			m.Unmatched++
+			// A phase seen at one size only (e.g. an initialisation
+			// artifact): keep it constant.
+			m.Phases = append(m.Phases, PhaseModel{
+				Fingerprint: fp,
+				ETCoef:      os[0].et, ETExp: 0,
+				WCoef: os[0].w, WExp: 0,
+				Points: 1,
+			})
+			continue
+		}
+		etc, ete := powerFit(os, func(o obs) float64 { return o.et })
+		wc, we := powerFit(os, func(o obs) float64 { return o.w })
+		m.Phases = append(m.Phases, PhaseModel{
+			Fingerprint: fp,
+			ETCoef:      etc, ETExp: ete,
+			WCoef: wc, WExp: we,
+			Points: len(os),
+		})
+	}
+	return m, nil
+}
+
+// obs is one (workload parameter, phase time, weight) observation.
+type obs struct {
+	param, et, w float64
+}
+
+// powerFit least-squares fits y = a·x^b in log space; zero or negative
+// values fall back to a constant fit at the mean.
+func powerFit(os []obs, y func(obs) float64) (a, b float64) {
+	n := 0
+	var sx, sy, sxx, sxy float64
+	var mean float64
+	for _, o := range os {
+		mean += y(o)
+	}
+	mean /= float64(len(os))
+	for _, o := range os {
+		v := y(o)
+		if v <= 0 || o.param <= 0 {
+			continue
+		}
+		lx, ly := math.Log(o.param), math.Log(v)
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+		n++
+	}
+	if n < 2 {
+		return mean, 0
+	}
+	den := float64(n)*sxx - sx*sx
+	if den == 0 {
+		return mean, 0
+	}
+	b = (float64(n)*sxy - sx*sy) / den
+	a = math.Exp((sy - b*sx) / float64(n))
+	if math.IsNaN(a) || math.IsInf(a, 0) || math.IsNaN(b) {
+		return mean, 0
+	}
+	return a, b
+}
