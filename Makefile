@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The phase and logical stages carry the concurrency (parallel fill,
+# candidate scoring, AnalyzeAll); run them under the race detector.
+race:
+	$(GO) test -race ./internal/phase/... ./internal/logical/...
+
+# Seed-vs-indexed extraction comparison over the registered workloads;
+# medians over -count 3 are what README quotes.
+bench:
+	$(GO) test ./internal/phase -run xxx -bench ExtractApps -benchtime 5x -count 3
+
+check: build
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/phase/... ./internal/logical/...

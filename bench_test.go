@@ -409,7 +409,7 @@ func absF(x float64) float64 {
 func BenchmarkAblationWorkload(b *testing.B) {
 	nnz := map[string]float64{"classA": 1.85e6, "classB": 1.31e7, "classC": 3.67e7}
 	base := ablateDeploy(b, pas2p.ClusterA(), 16)
-	analyze := func(class string) *pas2p.PhaseAnalysis {
+	traceFor := func(class string) *pas2p.Trace {
 		app, err := pas2p.MakeApp("cg", 16, class)
 		if err != nil {
 			b.Fatal(err)
@@ -418,16 +418,17 @@ func BenchmarkAblationWorkload(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		an, _, err := pas2p.Analyze(traced.Trace, pas2p.DefaultPhaseConfig(), 1)
+		return traced.Trace
+	}
+	for i := 0; i < b.N; i++ {
+		ans, _, err := pas2p.AnalyzeAll([]*pas2p.Trace{traceFor("classA"), traceFor("classB")},
+			pas2p.DefaultPhaseConfig(), 1, 0)
 		if err != nil {
 			b.Fatal(err)
 		}
-		return an
-	}
-	for i := 0; i < b.N; i++ {
 		model, err := pas2p.FitWorkloadModel([]pas2p.WorkloadPoint{
-			{Param: nnz["classA"], Analysis: analyze("classA")},
-			{Param: nnz["classB"], Analysis: analyze("classB")},
+			{Param: nnz["classA"], Analysis: ans[0]},
+			{Param: nnz["classB"], Analysis: ans[1]},
 		})
 		if err != nil {
 			b.Fatal(err)

@@ -24,11 +24,13 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate: 2, 3, 5, 7, 8, 9, D, E or all")
 	scale := flag.Int("scale", 1, "divide process counts by this factor (1 = paper scale)")
 	overhead := flag.Duration("overhead", 8*time.Microsecond, "per-event instrumentation overhead")
+	par := flag.Bool("parallel", false, "fan phase extraction out over the CPUs")
 	flag.Parse()
 
 	opts := report.Options{
-		ProcScale:     *scale,
-		EventOverhead: vtime.FromSeconds(overhead.Seconds()),
+		ProcScale:      *scale,
+		EventOverhead:  vtime.FromSeconds(overhead.Seconds()),
+		ParallelPhases: *par,
 	}
 	w := os.Stdout
 	start := time.Now()

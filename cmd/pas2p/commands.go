@@ -147,6 +147,7 @@ func cmdAnalyze(args []string) error {
 	eventSim := fs.Float64("event-similarity", 0.80, "fraction of similar events required")
 	compSim := fs.Float64("compute-similarity", 0.85, "compute-time similarity ratio")
 	relevance := fs.Float64("relevance", 0.01, "relevant-phase AET fraction")
+	par := fs.Bool("parallel", false, "fan phase extraction out over the CPUs")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -170,6 +171,7 @@ func cmdAnalyze(args []string) error {
 	cfg.EventSimilarity = *eventSim
 	cfg.ComputeSimilarity = *compSim
 	cfg.RelevanceFraction = *relevance
+	cfg.ExtractParallel = *par
 	var logf func(string, ...any)
 	if *explain {
 		logf = func(format string, args ...any) {

@@ -56,6 +56,17 @@ func (l *Logical) EventAt(t int, p int32) int {
 	return -1
 }
 
+// EachSig calls yield for every event at tick t in ascending process
+// order, passing the owning process and the event's communication
+// signature. It is the per-tick iteration the phase stage's repeat
+// scan and fingerprint index consume without reaching into Event
+// structs themselves.
+func (l *Logical) EachSig(t int, yield func(proc int32, sig uint64)) {
+	for _, s := range l.Ticks[t] {
+		yield(s.Proc, l.Trace.Events[s.Event].CommSignature())
+	}
+}
+
 // Order assigns PAS2P logical times to a copy of the trace and builds
 // the tick table. The input trace is not modified.
 func Order(tr *trace.Trace) (*Logical, error) {
@@ -115,7 +126,15 @@ func assignPAS2P(tr *trace.Trace, per [][]trace.Event) error {
 		}
 	}
 	assigned, total := 0, len(tr.Events)
-	spins := 0
+	// visits counts queue pops since the last state change (an event
+	// assignment or a collective arrival). During a run of failed
+	// receive visits the queue length is constant, so once visits
+	// exceeds it some entry has been retried with no state change in
+	// between — nothing it depends on can ever appear, so the relations
+	// are inconsistent. Counting whole no-progress passes this way is
+	// immune to queue-length fluctuations that made a per-visit spin
+	// counter fragile on deep receive-dependency chains.
+	visits := 0
 	for assigned < total {
 		if len(queue) == 0 {
 			return fmt.Errorf("logical: trace %q stalls with %d/%d events assigned (inconsistent relations)",
@@ -135,16 +154,16 @@ func assignPAS2P(tr *trace.Trace, per [][]trace.Event) error {
 			hw[p] = lt
 			sendLT[[2]int64{int64(p), sendSeq[p]}] = lt
 			sendSeq[p]++
-			spins = 0
+			visits = 0
 		case trace.Recv:
 			slt, ok := sendLT[[2]int64{e.RelA, e.RelB}]
 			if !ok {
 				// The matching send is not assigned yet; revisit later.
 				queue = append(queue, p)
-				spins++
-				if spins > len(queue)+tr.Procs+1 {
-					return fmt.Errorf("logical: trace %q: receive on proc %d references send (%d,%d) that never resolves",
-						tr.AppName, p, e.RelA, e.RelB)
+				visits++
+				if visits > len(queue) {
+					return fmt.Errorf("logical: trace %q: full pass over %d pending procs made no progress; receive on proc %d references send (%d,%d) that never resolves",
+						tr.AppName, len(queue), p, e.RelA, e.RelB)
 				}
 				continue
 			}
@@ -156,7 +175,7 @@ func assignPAS2P(tr *trace.Trace, per [][]trace.Event) error {
 			if lt > hw[p] {
 				hw[p] = lt
 			}
-			spins = 0
+			visits = 0
 		case trace.Collective:
 			key := [2]int64{e.RelA, e.RelB}
 			cw := collWaits[key]
@@ -168,7 +187,7 @@ func assignPAS2P(tr *trace.Trace, per [][]trace.Event) error {
 			cw.procs = append(cw.procs, p)
 			if cw.arrived < int(e.Involved) {
 				parked[p] = true // released by the last arrival
-				spins = 0
+				visits = 0       // an arrival is a state change
 				continue
 			}
 			// Last arrival: LT = max over members' current LT + 1.
@@ -191,7 +210,7 @@ func assignPAS2P(tr *trace.Trace, per [][]trace.Event) error {
 				}
 			}
 			delete(collWaits, key)
-			spins = 0
+			visits = 0
 			continue
 		default:
 			return fmt.Errorf("logical: trace %q: unknown event kind %d", tr.AppName, e.Kind)

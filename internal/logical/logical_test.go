@@ -6,6 +6,7 @@ import (
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
 	"pas2p/internal/trace"
+	"pas2p/internal/vtime"
 )
 
 // traceOf runs a small app under instrumentation and returns its trace.
@@ -308,6 +309,113 @@ func TestPermuteRecvRunsNormalisesOrder(t *testing.T) {
 	if per[1][0].LT >= per[1][1].LT {
 		t.Errorf("recv LTs not ascending: %d,%d", per[1][0].LT, per[1][1].LT)
 	}
+}
+
+// chainTrace hand-builds a depth-n send→recv dependency chain: proc
+// n-1 sends first; every proc below it must receive from the proc
+// above before sending downward, so resolution cascades one link per
+// queue pass and the assigner revisits pending receives O(n²) times
+// while legal progress is always one pass away.
+func chainTrace(t *testing.T, n int) *trace.Trace {
+	t.Helper()
+	per := make([][]trace.Event, n)
+	base := func(p int) vtime.Time { return vtime.Time(10 * (n - p)) }
+	for p := 0; p < n; p++ {
+		var evs []trace.Event
+		if p < n-1 {
+			evs = append(evs, trace.Event{
+				Process: int32(p), Number: 0, Kind: trace.Recv, Involved: 2, CollOp: -1,
+				Peer: int32(p + 1), Tag: 0, Enter: base(p), Exit: base(p) + 5,
+				RelA: int64(p + 1), RelB: 0,
+			})
+		}
+		if p > 0 {
+			evs = append(evs, trace.Event{
+				Process: int32(p), Number: int64(len(evs)), Kind: trace.Send, Involved: 2, CollOp: -1,
+				Peer: int32(p - 1), Tag: 0, Enter: base(p) + 6, Exit: base(p) + 7,
+				RelA: int64(p), RelB: 0,
+			})
+		}
+		per[p] = evs
+	}
+	tr, err := trace.NewTrace("chain", n, per, vtime.Duration(20*n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestOrderDeepRecvChain is the stall-detector regression: a deep
+// receive-dependency chain shrinks and refills the assignment queue
+// for many passes while progress is always still possible, so the
+// detector must count full no-progress passes, not raw spins, before
+// declaring the relations inconsistent.
+func TestOrderDeepRecvChain(t *testing.T) {
+	for _, depth := range []int{3, 16, 64, 256} {
+		tr := chainTrace(t, depth)
+		l, err := Order(tr)
+		if err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if err := l.Validate(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		// The chain forces strictly increasing LTs down the cascade:
+		// proc 0's receive resolves last, at tick >= depth-1.
+		per := l.Trace.PerProcess()
+		if got := per[0][0].LT; got < int64(depth-1) {
+			t.Errorf("depth %d: proc 0 recv at tick %d, want >= %d", depth, got, depth-1)
+		}
+	}
+}
+
+// TestOrderDetectsGenuineStall: a receive cycle (each proc's send is
+// behind a receive of the other's send) must be reported as an error,
+// not loop forever — including when healthy processes keep the queue
+// busy for a while first.
+func TestOrderDetectsGenuineStall(t *testing.T) {
+	cycle := func(p, q int32) [][]trace.Event {
+		mk := func(me, peer int32) []trace.Event {
+			return []trace.Event{
+				{Process: me, Number: 0, Kind: trace.Recv, Involved: 2, CollOp: -1,
+					Peer: peer, Tag: 0, Enter: 0, Exit: 5, RelA: int64(peer), RelB: 0},
+				{Process: me, Number: 1, Kind: trace.Send, Involved: 2, CollOp: -1,
+					Peer: peer, Tag: 0, Enter: 6, Exit: 7, RelA: int64(me), RelB: 0},
+			}
+		}
+		return [][]trace.Event{mk(p, q), mk(q, p)}
+	}
+
+	t.Run("bare", func(t *testing.T) {
+		per := cycle(0, 1)
+		tr, err := trace.NewTrace("cycle", 2, per, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Order(tr); err == nil {
+			t.Fatal("cyclic receive dependency should fail ordering")
+		}
+	})
+
+	t.Run("with healthy procs", func(t *testing.T) {
+		per := cycle(0, 1)
+		// Procs 2 and 3 exchange happily; the stall must still be
+		// detected once only the cycle remains pending.
+		var p2, p3 []trace.Event
+		for i := 0; i < 20; i++ {
+			p2 = append(p2, trace.Event{Process: 2, Number: int64(i), Kind: trace.Send, Involved: 2, CollOp: -1,
+				Peer: 3, Tag: 0, Enter: vtime.Time(10 * i), Exit: vtime.Time(10*i + 1), RelA: 2, RelB: int64(i)})
+			p3 = append(p3, trace.Event{Process: 3, Number: int64(i), Kind: trace.Recv, Involved: 2, CollOp: -1,
+				Peer: 2, Tag: 0, Enter: vtime.Time(10 * i), Exit: vtime.Time(10*i + 2), RelA: 2, RelB: int64(i)})
+		}
+		tr, err := trace.NewTrace("cycle+healthy", 4, append(per, p2, p3), 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Order(tr); err == nil {
+			t.Fatal("cyclic receive dependency should fail ordering despite healthy procs")
+		}
+	})
 }
 
 func TestOrderLargeRing(t *testing.T) {

@@ -1,8 +1,10 @@
 package phase
 
 import (
+	"fmt"
 	"testing"
 
+	"pas2p/internal/apps"
 	"pas2p/internal/logical"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
@@ -52,6 +54,80 @@ func BenchmarkExtract(b *testing.B) {
 		}
 		if i == 0 {
 			b.ReportMetric(float64(len(a.Phases)), "phases")
+		}
+	}
+}
+
+// benchAppLogical traces a registered workload on cluster C and
+// orders it with the PAS2P ordering.
+func benchAppLogical(b *testing.B, name, wl string, procs int) *logical.Logical {
+	b.Helper()
+	app, err := apps.Make(name, procs, wl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := machine.NewDeployment(machine.ClusterC(), procs, machine.MapBlock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := mpi.Run(app, mpi.RunConfig{Deployment: d, Trace: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := logical.Order(res.Trace)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return l
+}
+
+// BenchmarkExtractApps compares the extraction paths on real workload
+// traces: "seed" is the pre-index full scan, "indexed" the
+// fingerprint-indexed matcher, "parallel" the full engine with the
+// fill pass and candidate scoring fanned out over the worker pool.
+// lu/classD at 64 ranks is the largest trace internal/apps produces
+// (897k events over 40k ticks); pop/synthetic240 is the densest. The
+// golden tests prove all three paths return the identical Analysis.
+func BenchmarkExtractApps(b *testing.B) {
+	cases := []struct {
+		name, wl string
+		procs    int
+	}{
+		{"moldy", "tip4p", 64},
+		{"sweep3d", "sweep.250", 64},
+		{"lu", "classD", 64},
+		{"pop", "synthetic240", 64},
+		{"masterworker", "rounds50", 64},
+		{"smg2000", "-n 200 solver 3", 64},
+	}
+	seedCfg := DefaultConfig()
+	seedCfg.naiveMatch = true
+	parCfg := DefaultConfig()
+	parCfg.ExtractParallel = true
+	modes := []struct {
+		mode string
+		cfg  Config
+	}{
+		{"seed", seedCfg},
+		{"indexed", DefaultConfig()},
+		{"parallel", parCfg},
+	}
+	for _, c := range cases {
+		l := benchAppLogical(b, c.name, c.wl, c.procs)
+		for _, m := range modes {
+			b.Run(fmt.Sprintf("%s/%s", c.name, m.mode), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					a, err := Extract(l, m.cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(len(a.Phases)), "phases")
+						b.ReportMetric(float64(l.NumTicks()), "ticks")
+					}
+				}
+			})
 		}
 	}
 }

@@ -1,0 +1,284 @@
+// Fingerprint index for phase matching. Every window gets a cheap
+// structural profile — tick length, event count and a per-process
+// comm-signature multiset — accumulated in flat, epoch-cleared hash
+// tables rather than per-window maps. Phases are bucketed by tick
+// length (the one hard invariant of the §3.3 similarity relation), and
+// within a bucket a sound counting bound decides whether the full
+// cell-by-cell test could possibly reach the event-similarity
+// threshold before it is run.
+package phase
+
+// sigCount is one entry of a stored profile: a hashed
+// (process, signature) key and how often it occurs.
+type sigCount struct {
+	key uint64
+	cnt int32
+}
+
+// sigProfile summarises a phase's structure: how many events each
+// process contributes and the multiset of (process, signature) pairs.
+// Profiles are compacted out of the matcher's scratch table when a
+// window becomes a new phase; transient windows never materialise one.
+type sigProfile struct {
+	events  int
+	perProc []int32
+	entries []sigCount
+}
+
+// sigKey mixes the owning process into the signature. A hash collision
+// can only inflate the intersection estimate below, which keeps the
+// pruning bound sound: it over-approximates attainable similarity.
+func sigKey(proc int32, sig uint64) uint64 {
+	return sig ^ (uint64(uint32(proc))+1)*0x9e3779b97f4a7c15
+}
+
+// fmix64 is the 64-bit avalanche finaliser; table probes need the
+// key's entropy spread into the low bits the mask keeps.
+func fmix64(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// countTable is an open-addressed multiset counter over hashed keys
+// with O(1) clearing: entries whose epoch is stale read as absent and
+// their slots are free for reuse. Reusing one table across all windows
+// of an extraction removes the per-window map allocations that would
+// otherwise dominate profiling cost.
+type countTable struct {
+	key   []uint64
+	cnt   []int32
+	epoch []uint32
+	cur   uint32
+	n     int
+	mask  uint64
+}
+
+func (ct *countTable) init(size int) {
+	ct.key = make([]uint64, size)
+	ct.cnt = make([]int32, size)
+	ct.epoch = make([]uint32, size)
+	ct.cur = 1
+	ct.n = 0
+	ct.mask = uint64(size - 1)
+}
+
+// reset discards every entry. Stale slots stay claimable, so probe
+// chains never cross epochs.
+func (ct *countTable) reset() {
+	ct.cur++
+	ct.n = 0
+	if ct.cur == 0 { // epoch wrapped: stale slots could alias
+		clear(ct.epoch)
+		ct.cur = 1
+	}
+}
+
+// inc bumps key's count by one.
+func (ct *countTable) inc(key uint64) {
+	if ct.n >= len(ct.key)*3/4 {
+		ct.grow()
+	}
+	h := fmix64(key) & ct.mask
+	for {
+		if ct.epoch[h] != ct.cur {
+			ct.key[h], ct.cnt[h], ct.epoch[h] = key, 1, ct.cur
+			ct.n++
+			return
+		}
+		if ct.key[h] == key {
+			ct.cnt[h]++
+			return
+		}
+		h = (h + 1) & ct.mask
+	}
+}
+
+// get returns key's count this epoch, zero when absent.
+func (ct *countTable) get(key uint64) int32 {
+	h := fmix64(key) & ct.mask
+	for {
+		if ct.epoch[h] != ct.cur {
+			return 0
+		}
+		if ct.key[h] == key {
+			return ct.cnt[h]
+		}
+		h = (h + 1) & ct.mask
+	}
+}
+
+func (ct *countTable) grow() {
+	old := *ct
+	ct.init(len(old.key) * 2)
+	ct.cur = old.cur
+	for i, e := range old.epoch {
+		if e != old.cur {
+			continue
+		}
+		h := fmix64(old.key[i]) & ct.mask
+		for ct.epoch[h] == ct.cur {
+			h = (h + 1) & ct.mask
+		}
+		ct.key[h], ct.cnt[h], ct.epoch[h] = old.key[i], old.cnt[i], ct.cur
+		ct.n++
+	}
+}
+
+// compact materialises the live entries as a stored profile slice.
+func (ct *countTable) compact() []sigCount {
+	out := make([]sigCount, 0, ct.n)
+	for i, e := range ct.epoch {
+		if e == ct.cur {
+			out = append(out, sigCount{key: ct.key[i], cnt: ct.cnt[i]})
+		}
+	}
+	return out
+}
+
+// firstTable maps (process, comm signature) to the tick of its first
+// occurrence in the current window — the state behind the step-4
+// repeat scan — again with epoch-based O(1) clearing. Unlike the
+// pruning profiles it stores the pair exactly, because a collision
+// here would change which tick counts as a repeat and break the
+// bit-identity guarantee against the reference scan.
+type firstTable struct {
+	sig   []uint64
+	proc  []int32
+	tick  []int32
+	epoch []uint32
+	cur   uint32
+	n     int
+	mask  uint64
+}
+
+func (ft *firstTable) init(size int) {
+	ft.sig = make([]uint64, size)
+	ft.proc = make([]int32, size)
+	ft.tick = make([]int32, size)
+	ft.epoch = make([]uint32, size)
+	ft.cur = 1
+	ft.n = 0
+	ft.mask = uint64(size - 1)
+}
+
+func (ft *firstTable) reset() {
+	ft.cur++
+	ft.n = 0
+	if ft.cur == 0 {
+		clear(ft.epoch)
+		ft.cur = 1
+	}
+}
+
+// insertOrGet records tick t as the first occurrence of (proc, sig)
+// and returns -1, or returns the already recorded first-occurrence
+// tick — exactly the semantics of the reference scan's firstSeen maps.
+func (ft *firstTable) insertOrGet(sig uint64, proc int32, t int) int {
+	if ft.n >= len(ft.sig)*3/4 {
+		ft.grow()
+	}
+	h := fmix64(sigKey(proc, sig)) & ft.mask
+	for {
+		if ft.epoch[h] != ft.cur {
+			ft.sig[h], ft.proc[h], ft.tick[h], ft.epoch[h] = sig, proc, int32(t), ft.cur
+			ft.n++
+			return -1
+		}
+		if ft.sig[h] == sig && ft.proc[h] == proc {
+			return int(ft.tick[h])
+		}
+		h = (h + 1) & ft.mask
+	}
+}
+
+func (ft *firstTable) grow() {
+	old := *ft
+	ft.init(len(old.sig) * 2)
+	ft.cur = old.cur
+	for i, e := range old.epoch {
+		if e != old.cur {
+			continue
+		}
+		h := fmix64(sigKey(old.proc[i], old.sig[i])) & ft.mask
+		for ft.epoch[h] == ft.cur {
+			h = (h + 1) & ft.mask
+		}
+		ft.sig[h], ft.proc[h], ft.tick[h], ft.epoch[h] = old.sig[i], old.proc[i], old.tick[i], ft.cur
+		ft.n++
+	}
+}
+
+// couldMatch reports whether the full similarity test between the
+// matcher's current window (scratch profile in winTab/winPP) and a
+// stored phase profile of the same tick length L could possibly reach
+// eventSim. It bounds the attainable similar-cell count: with A_p and
+// B_p events of process p on either side, at least
+// Cmin = Σ_p max(0, A_p+B_p-L) cells hold an event on both sides
+// (pigeonhole per process row), and a both-sides cell can only compare
+// similar when its signatures match positionally — at most I of them
+// can, where I is the multiset intersection of the profiles. Every
+// cell with an event on exactly one side counts automatically (the
+// paper's type-0 rule); with C both-sides cells there are A+B-2C of
+// those, and the total A+B-2C+min(C,I) is non-increasing in C, so
+// evaluating it at Cmin over-approximates every reachable outcome. If
+// even that bound misses the threshold, the full test cannot pass.
+func (m *matcher) couldMatch(prof *sigProfile, tickLen int, winEvents int) bool {
+	total := winEvents
+	if prof.events > total {
+		total = prof.events
+	}
+	if total == 0 {
+		return true
+	}
+	cmin := 0
+	for p, c := range prof.perProc {
+		if c := int(c) + int(m.winPP[p]) - tickLen; c > 0 {
+			cmin += c
+		}
+	}
+	// Iterating the stored side covers every key with a positive
+	// minimum; window-only keys contribute nothing.
+	inter := 0
+	for _, e := range prof.entries {
+		if c := m.winTab.get(e.key); c < e.cnt {
+			inter += int(c)
+		} else {
+			inter += int(e.cnt)
+		}
+	}
+	bound := winEvents + prof.events - 2*cmin
+	if inter < cmin {
+		bound += inter
+	} else {
+		bound += cmin
+	}
+	return float64(bound) >= m.cfg.EventSimilarity*float64(total)
+}
+
+// indexEntry pairs a recorded phase with its profile.
+type indexEntry struct {
+	phase *Phase
+	prof  *sigProfile
+}
+
+// phaseIndex buckets phases by tick length — §3.3 step 5a — so a
+// window only ever meets candidates it could legally fold into.
+// Entries within a bucket stay in discovery (ID) order, preserving the
+// sequential algorithm's first-match semantics.
+type phaseIndex struct {
+	buckets map[int][]indexEntry
+}
+
+func newPhaseIndex() *phaseIndex {
+	return &phaseIndex{buckets: make(map[int][]indexEntry)}
+}
+
+func (ix *phaseIndex) candidates(tickLen int) []indexEntry {
+	return ix.buckets[tickLen]
+}
+
+func (ix *phaseIndex) add(p *Phase, prof *sigProfile) {
+	ix.buckets[p.TickLen] = append(ix.buckets[p.TickLen], indexEntry{phase: p, prof: prof})
+}

@@ -1,0 +1,213 @@
+// The matching engine behind savePhase. A window first tries the
+// window-equality cache (iterative programs repeat windows verbatim);
+// on a miss, candidates come from the fingerprint index, survivors of
+// the counting bound are scored with the early-exit similarity test,
+// and — when Config.ExtractParallel is set — the scoring fans out over
+// a bounded worker pool. Results are bit-identical to the sequential
+// scan in every mode: the winner is always the matching candidate with
+// the lowest phase ID.
+package phase
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// directScoreBucket is the bucket size up to which candidates are
+// scored outright: the early-exit test over a handful of phases is
+// cheaper than building the window profile the pruning bound needs.
+const directScoreBucket = 4
+
+// parallelMinCandidates is the surviving-candidate count below which
+// goroutine hand-off costs more than it saves.
+const parallelMinCandidates = 3
+
+type matcher struct {
+	cfg     Config
+	idx     *phaseIndex
+	workers int
+	scratch []indexEntry
+	// cache holds, per tick length, the previous window and its
+	// resolution.
+	cache map[int]*bucketCache
+	// winTab and winPP hold the current window's scratch profile —
+	// hashed (process, signature) counts and per-process totals —
+	// rebuilt in place when a window actually needs one: profiling is
+	// lazy, because small buckets score faster directly.
+	winTab      countTable
+	winPP       []int32
+	winProfiled bool
+}
+
+// bucketCache remembers the last window seen at a given tick length
+// and the phase it resolved to. Iterative SPMD programs emit long runs
+// of bit-identical windows, and an identical window provably resolves
+// to the same phase: phases are immutable once recorded, candidates
+// are scanned in ID order, and every phase recorded since the cached
+// window carries a higher ID than the cached resolution — so the first
+// match cannot change.
+type bucketCache struct {
+	cells  [][]Cell
+	events int
+	phase  *Phase
+}
+
+func newMatcher(cfg Config) *matcher {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	m := &matcher{cfg: cfg, idx: newPhaseIndex(), workers: w, cache: make(map[int]*bucketCache)}
+	m.winTab.init(512)
+	return m
+}
+
+// profileWindow rebuilds the scratch profile from a freshly
+// materialised window.
+func (m *matcher) profileWindow(cells [][]Cell) {
+	m.winProfiled = true
+	m.winTab.reset()
+	procs := 0
+	if len(cells) > 0 {
+		procs = len(cells[0])
+	}
+	if cap(m.winPP) < procs {
+		m.winPP = make([]int32, procs)
+	} else {
+		m.winPP = m.winPP[:procs]
+		clear(m.winPP)
+	}
+	for _, row := range cells {
+		for pr := range row {
+			if row[pr].Present {
+				m.winPP[pr]++
+				m.winTab.inc(sigKey(int32(pr), row[pr].Sig))
+			}
+		}
+	}
+}
+
+// addCurrent records a freshly discovered phase under the profile of
+// the window that created it, building it now if match skipped it.
+func (m *matcher) addCurrent(p *Phase, cells [][]Cell) {
+	if !m.winProfiled {
+		m.profileWindow(cells)
+	}
+	prof := &sigProfile{
+		events:  p.Events,
+		perProc: append([]int32(nil), m.winPP...),
+		entries: m.winTab.compact(),
+	}
+	m.idx.add(p, prof)
+}
+
+// cacheHit returns the cached resolution when the window is
+// cell-for-cell identical to the previous window of its bucket.
+func (m *matcher) cacheHit(cells [][]Cell, events int) *Phase {
+	c := m.cache[len(cells)]
+	if c == nil || c.events != events {
+		return nil
+	}
+	for t := range cells {
+		ca, cb := c.cells[t], cells[t]
+		for pr := range cb {
+			if ca[pr] != cb[pr] {
+				return nil
+			}
+		}
+	}
+	return c.phase
+}
+
+// setCache records the window just resolved as its bucket's
+// comparison point.
+func (m *matcher) setCache(cells [][]Cell, events int, p *Phase) {
+	if c := m.cache[len(cells)]; c != nil {
+		c.cells, c.events, c.phase = cells, events, p
+		return
+	}
+	m.cache[len(cells)] = &bucketCache{cells: cells, events: events, phase: p}
+}
+
+// match returns the first phase, in discovery (ID) order, that the
+// window folds into under the §3.3 similarity relation, or nil.
+// Small buckets are scored directly; larger ones are pruned with the
+// counting bound over a window profile built on demand.
+func (m *matcher) match(cells [][]Cell, events int) *Phase {
+	m.winProfiled = false
+	cands := m.idx.candidates(len(cells))
+	if len(cands) == 0 {
+		return nil
+	}
+	if len(cands) <= directScoreBucket {
+		for _, c := range cands {
+			if similarCells(c.phase.Cells, cells, c.phase.Events, events, m.cfg) {
+				return c.phase
+			}
+		}
+		return nil
+	}
+	m.profileWindow(cells)
+	live := m.scratch[:0]
+	for _, c := range cands {
+		if m.couldMatch(c.prof, len(cells), events) {
+			live = append(live, c)
+		}
+	}
+	m.scratch = live
+	if len(live) == 0 {
+		return nil
+	}
+	if !m.cfg.ExtractParallel || m.workers == 1 || len(live) < parallelMinCandidates {
+		for _, c := range live {
+			if similarCells(c.phase.Cells, cells, c.phase.Events, events, m.cfg) {
+				return c.phase
+			}
+		}
+		return nil
+	}
+	return m.matchParallel(live, cells, events)
+}
+
+// matchParallel scores the surviving candidates concurrently. Workers
+// pull indices from a shared counter and record matches in `best`, a
+// monotonically decreasing minimum, so the returned phase is exactly
+// the one the sequential scan would have picked; candidates past the
+// current best are skipped because they can no longer influence it.
+func (m *matcher) matchParallel(live []indexEntry, cells [][]Cell, events int) *Phase {
+	var next, best atomic.Int64
+	n := int64(len(live))
+	best.Store(n)
+	workers := m.workers
+	if int64(workers) > n {
+		workers = int(n)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= n || i >= best.Load() {
+					return
+				}
+				c := live[i]
+				if similarCells(c.phase.Cells, cells, c.phase.Events, events, m.cfg) {
+					for {
+						b := best.Load()
+						if i >= b || best.CompareAndSwap(b, i) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if b := best.Load(); b < n {
+		return live[b].phase
+	}
+	return nil
+}

@@ -2,6 +2,7 @@ package phase
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 
@@ -169,6 +170,7 @@ func TestExtractValidation(t *testing.T) {
 }
 
 func TestRatioAtLeast(t *testing.T) {
+	nan := math.NaN()
 	cases := []struct {
 		a, b, th float64
 		want     bool
@@ -179,11 +181,58 @@ func TestRatioAtLeast(t *testing.T) {
 		{84, 100, 0.85, false},
 		{100, 85, 0.85, true},
 		{0, 100, 0.85, false},
+		{100, 0, 0.85, false},
 		{1e9, 1e9 * 0.9, 0.85, true},
+		// Negative (corrupt) inputs must never compare similar — the
+		// old max<=0 shortcut silently matched all of these.
+		{-5, -5, 0.85, false},
+		{-5, -4, 0.85, false},
+		{-1, 0, 0.85, false},
+		{0, -1, 0.85, false},
+		{-100, 100, 0.85, false},
+		{100, -100, 0.85, false},
+		// NaN anywhere is corrupt data: dissimilar.
+		{nan, 100, 0.85, false},
+		{100, nan, 0.85, false},
+		{nan, nan, 0.85, false},
 	}
 	for _, c := range cases {
 		if got := ratioAtLeast(c.a, c.b, c.th); got != c.want {
 			t.Errorf("ratioAtLeast(%v,%v,%v) = %v", c.a, c.b, c.th, got)
+		}
+	}
+}
+
+func TestConfigValidateRejectsNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	mod := func(f func(c *Config)) Config {
+		c := DefaultConfig()
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"default", DefaultConfig(), true},
+		{"event NaN", mod(func(c *Config) { c.EventSimilarity = nan }), false},
+		{"compute NaN", mod(func(c *Config) { c.ComputeSimilarity = nan }), false},
+		{"volume NaN", mod(func(c *Config) { c.VolumeSimilarity = nan }), false},
+		{"relevance NaN", mod(func(c *Config) { c.RelevanceFraction = nan }), false},
+		{"event +Inf", mod(func(c *Config) { c.EventSimilarity = inf }), false},
+		{"compute -Inf", mod(func(c *Config) { c.ComputeSimilarity = -inf }), false},
+		{"volume +Inf", mod(func(c *Config) { c.VolumeSimilarity = inf }), false},
+		{"relevance +Inf", mod(func(c *Config) { c.RelevanceFraction = inf }), false},
+		{"relevance -Inf", mod(func(c *Config) { c.RelevanceFraction = -inf }), false},
+		{"event zero", mod(func(c *Config) { c.EventSimilarity = 0 }), false},
+		{"event above one", mod(func(c *Config) { c.EventSimilarity = 1.01 }), false},
+		{"negative workers", mod(func(c *Config) { c.Workers = -1 }), false},
+		{"parallel with workers", mod(func(c *Config) { c.ExtractParallel = true; c.Workers = 2 }), true},
+	}
+	for _, c := range cases {
+		if err := c.cfg.validate(); (err == nil) != c.ok {
+			t.Errorf("%s: validate() = %v, want ok=%v", c.name, err, c.ok)
 		}
 	}
 }

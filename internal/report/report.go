@@ -12,6 +12,7 @@ import (
 
 	"pas2p/internal/apps"
 	"pas2p/internal/machine"
+	"pas2p/internal/phase"
 	"pas2p/internal/predict"
 	"pas2p/internal/vtime"
 )
@@ -24,6 +25,18 @@ type Options struct {
 	ProcScale int
 	// EventOverhead is the instrumentation cost per event.
 	EventOverhead vtime.Duration
+	// ParallelPhases fans the phase-extraction stage of every
+	// experiment out over the CPUs.
+	ParallelPhases bool
+}
+
+// phaseConfig returns the phase thresholds the experiments run with —
+// the paper's defaults, with the parallel engine toggled by the
+// options.
+func (o Options) phaseConfig() phase.Config {
+	cfg := phase.DefaultConfig()
+	cfg.ExtractParallel = o.ParallelPhases
+	return cfg
 }
 
 // DefaultOptions runs at the paper's process counts.
@@ -73,6 +86,7 @@ func runExperiment(name string, procs int, workload string,
 		Base:          base,
 		Target:        target,
 		EventOverhead: opts.EventOverhead,
+		PhaseConfig:   opts.phaseConfig(),
 	})
 }
 

@@ -26,6 +26,10 @@
 package pas2p
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"pas2p/internal/apps"
 	"pas2p/internal/checkpoint"
 	"pas2p/internal/logical"
@@ -202,6 +206,46 @@ func Analyze(tr *Trace, cfg PhaseConfig, warmOccurrence int) (*PhaseAnalysis, *P
 		return nil, nil, err
 	}
 	return an, tb, nil
+}
+
+// AnalyzeAll runs Analyze over several traces concurrently on a
+// bounded worker pool (workers <= 0 selects GOMAXPROCS). Results come
+// back in input order regardless of completion order; phase extraction
+// itself is deterministic, so the outputs are identical to calling
+// Analyze in a loop. On failure the returned error is the one from the
+// lowest-indexed failing trace, and both slices are nil.
+func AnalyzeAll(traces []*Trace, cfg PhaseConfig, warmOccurrence int, workers int) ([]*PhaseAnalysis, []*PhaseTable, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(traces) {
+		workers = len(traces)
+	}
+	ans := make([]*PhaseAnalysis, len(traces))
+	tbs := make([]*PhaseTable, len(traces))
+	errs := make([]error, len(traces))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= len(traces) {
+					return
+				}
+				ans[i], tbs[i], errs[i] = Analyze(traces[i], cfg, warmOccurrence)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return ans, tbs, nil
 }
 
 // BuildSignature constructs the signature on the base machine,
