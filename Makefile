@@ -9,9 +9,10 @@ test:
 	$(GO) test ./...
 
 # The phase and logical stages carry the concurrency (parallel fill,
-# candidate scoring, AnalyzeAll); run them under the race detector.
+# candidate scoring, AnalyzeAll), and obs is written to by every
+# simulated rank; run them under the race detector.
 race:
-	$(GO) test -race ./internal/phase/... ./internal/logical/...
+	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/...
 
 # Seed-vs-indexed extraction comparison over the registered workloads;
 # medians over -count 3 are what README quotes.
@@ -21,4 +22,4 @@ bench:
 check: build
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/phase/... ./internal/logical/...
+	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/...

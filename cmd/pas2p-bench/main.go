@@ -11,9 +11,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"pas2p/internal/report"
@@ -25,7 +28,23 @@ func main() {
 	scale := flag.Int("scale", 1, "divide process counts by this factor (1 = paper scale)")
 	overhead := flag.Duration("overhead", 8*time.Microsecond, "per-event instrumentation overhead")
 	par := flag.Bool("parallel", false, "fan phase extraction out over the CPUs")
+	jsonOut := flag.String("json", "", "write the table 8/9 rows as machine-readable benchmark JSON")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pas2p-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pas2p-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := report.Options{
 		ProcScale:      *scale,
@@ -76,8 +95,67 @@ func main() {
 			if want("9") {
 				report.Table9(w, rows)
 			}
+			if *jsonOut != "" {
+				if err := writeBenchJSON(*jsonOut, rows); err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "benchmark rows written to %s\n", *jsonOut)
+			}
 			return nil
 		})
+	} else if *jsonOut != "" {
+		fmt.Fprintln(os.Stderr, "pas2p-bench: -json needs the table 8/9 experiment set (-table 8, 9 or all)")
 	}
 	fmt.Fprintf(w, "[pas2p-bench completed in %v]\n", time.Since(start).Round(time.Millisecond))
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pas2p-bench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pas2p-bench: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+// benchRow is the machine-readable form of one table 8/9 row: the
+// host-side cost of the full pipeline (ns/op, B/op) next to the
+// prediction quality it bought.
+type benchRow struct {
+	App         string  `json:"app"`
+	Ranks       int     `json:"ranks"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocBytes  int64   `json:"alloc_bytes_per_op"`
+	PETSeconds  float64 `json:"pet_seconds"`
+	AETSeconds  float64 `json:"aet_seconds"`
+	PETEPercent float64 `json:"pete_percent"`
+}
+
+func writeBenchJSON(path string, rows []report.PerfRow) error {
+	out := make([]benchRow, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, benchRow{
+			App: r.App, Ranks: r.Procs,
+			NsPerOp: r.WallNS, AllocBytes: r.AllocBytes,
+			PETSeconds:  r.Outcome.PET.Seconds(),
+			AETSeconds:  r.Outcome.AETTarget.Seconds(),
+			PETEPercent: r.Outcome.PETEPercent,
+		})
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -11,6 +11,7 @@ import (
 	"pas2p/internal/logical"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
+	"pas2p/internal/obs"
 	"pas2p/internal/phase"
 	"pas2p/internal/predict"
 	"pas2p/internal/report"
@@ -148,11 +149,21 @@ func cmdAnalyze(args []string) error {
 	compSim := fs.Float64("compute-similarity", 0.85, "compute-time similarity ratio")
 	relevance := fs.Float64("relevance", 0.01, "relevant-phase AET fraction")
 	par := fs.Bool("parallel", false, "fan phase extraction out over the CPUs")
+	metricsOut := fs.String("metrics", "", "write a metrics snapshot (stage spans, counters) as JSON")
+	timelineOut := fs.String("timeline", "", "write a Chrome trace-event timeline of the tracefile")
+	promOut := fs.String("prom", "", "also write the metrics in Prometheus text format")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("analyze: -trace is required")
+	}
+	var o *obs.Observer
+	switch {
+	case *timelineOut != "":
+		o = obs.NewWithTimeline()
+	case *metricsOut != "" || *promOut != "":
+		o = obs.New()
 	}
 	f, err := os.Open(*in)
 	if err != nil {
@@ -163,15 +174,21 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	sp := o.StartSpan("analyze.order")
 	l, err := logical.Order(tr)
 	if err != nil {
+		sp.End()
 		return err
 	}
+	sp.SetCounter("events", int64(len(tr.Events)))
+	sp.SetCounter("ticks", int64(l.NumTicks()))
+	sp.End()
 	cfg := phase.DefaultConfig()
 	cfg.EventSimilarity = *eventSim
 	cfg.ComputeSimilarity = *compSim
 	cfg.RelevanceFraction = *relevance
 	cfg.ExtractParallel = *par
+	cfg.Observer = o
 	var logf func(string, ...any)
 	if *explain {
 		logf = func(format string, args ...any) {
@@ -182,10 +199,14 @@ func cmdAnalyze(args []string) error {
 	if err != nil {
 		return err
 	}
+	sp = o.StartSpan("analyze.table")
 	tb, err := an.BuildTable(*warm)
 	if err != nil {
+		sp.End()
 		return err
 	}
+	sp.SetCounter("relevant_phases", int64(len(tb.RelevantRows())))
+	sp.End()
 	fmt.Printf("application: %s, %d processes, %d events, %d ticks\n",
 		tr.AppName, tr.Procs, len(tr.Events), l.NumTicks())
 	fmt.Println(an.Summary())
@@ -202,6 +223,30 @@ func cmdAnalyze(args []string) error {
 			return err
 		}
 		fmt.Printf("phase table written to %s\n", *out)
+	}
+	if *timelineOut != "" {
+		pid := timelineFromTrace(o.Timeline, tr)
+		addPhaseBoundaries(o.Timeline, pid, an)
+	}
+	if o != nil {
+		snap := o.Registry.Snapshot()
+		snap.AddPipelineTrack(o.Timeline, "pipeline (wall clock)")
+		if err := writeSnapshot(snap, *metricsOut, *promOut); err != nil {
+			return err
+		}
+		if *metricsOut != "" {
+			fmt.Printf("metrics written to %s\n", *metricsOut)
+		}
+		if *promOut != "" {
+			fmt.Printf("prometheus metrics written to %s\n", *promOut)
+		}
+		if *timelineOut != "" {
+			if err := writeTimeline(o.Timeline, *timelineOut); err != nil {
+				return err
+			}
+			fmt.Printf("timeline written to %s (%d events; open in Perfetto)\n",
+				*timelineOut, o.Timeline.Len())
+		}
 	}
 	return nil
 }
@@ -247,6 +292,7 @@ func cmdPredict(args []string) error {
 	timeline := fs.Bool("timeline", false, "print the signature execution timeline (paper Fig. 11)")
 	allPhases := fs.Bool("all-phases", false, "measure every phase, not only the relevant ones")
 	noTruth := fs.Bool("no-ground-truth", false, "skip the full target run (prediction only)")
+	metricsOut := fs.String("metrics", "", "write a metrics snapshot (stage spans, counters) as JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -275,6 +321,9 @@ func cmdPredict(args []string) error {
 		sig.AllPhases = true
 		exp.Signature = sig
 	}
+	if *metricsOut != "" {
+		exp.Observer = obs.New()
+	}
 	out, err := predict.Run(exp)
 	if err != nil {
 		return err
@@ -294,6 +343,12 @@ func cmdPredict(args []string) error {
 	}
 	if *timeline {
 		printTimeline(out)
+	}
+	if *metricsOut != "" {
+		if err := writeSnapshot(exp.Observer.Registry.Snapshot(), *metricsOut, ""); err != nil {
+			return err
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 	return nil
 }

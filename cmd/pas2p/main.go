@@ -12,6 +12,7 @@
 //	pas2p analyze  -trace cg.pas2p ...       extract phases, print the phase table
 //	pas2p aet      -app cg -cluster B ...    run the full application (ground truth)
 //	pas2p predict  -app cg -base A -target B full pipeline: signature + prediction
+//	pas2p profile  cg -ranks 16              instrumented pipeline: metrics + timeline
 package main
 
 import (
@@ -42,6 +43,8 @@ func main() {
 		err = cmdAET(os.Args[2:])
 	case "predict":
 		err = cmdPredict(os.Args[2:])
+	case "profile":
+		err = cmdProfile(os.Args[2:])
 	case "sign":
 		err = cmdSign(os.Args[2:])
 	case "execsig":
@@ -69,7 +72,8 @@ commands:
   clusters                      print the modelled clusters (paper Table 2)
   trace    -app A -procs N [-workload W] [-cluster C] [-o FILE] [-json]
                                 instrument a run and write the tracefile
-  analyze  -trace FILE [-o TABLE.json]
+  analyze  -trace FILE [-o TABLE.json] [-metrics FILE]
+           [-timeline FILE] [-prom FILE]
                                 build the model, extract phases, print the
                                 phase table (paper Fig. 7)
   inspect  -trace FILE [-proc P] [-n N] [-ticks]
@@ -80,10 +84,15 @@ commands:
   aet      -app A -procs N [-workload W] [-cluster C] [-cores K]
                                 run the full application for its AET
   predict  -app A -procs N [-workload W] -base B -target T [-cores K]
-           [-timeline] [-all-phases]
+           [-timeline] [-all-phases] [-metrics FILE]
                                 construct the signature on the base cluster,
                                 execute it on the target, predict the AET and
                                 (with a ground-truth run) report the error
+  profile  APP [-ranks N] [-base B] [-target T] [-metrics FILE]
+           [-timeline FILE] [-prom FILE]
+                                run the full pipeline under instrumentation
+                                and emit a metrics snapshot plus a Chrome
+                                trace-event timeline (Perfetto-loadable)
   sign     -app A -procs N [-workload W] [-base B] [-o SIG.json]
                                 stage A only: build the signature once and
                                 persist it

@@ -1,0 +1,209 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"pas2p/internal/apps"
+	"pas2p/internal/obs"
+	"pas2p/internal/phase"
+	"pas2p/internal/predict"
+	"pas2p/internal/trace"
+	"pas2p/internal/vtime"
+)
+
+// cmdProfile runs the full prediction pipeline under a fully enabled
+// observer and writes both observability artifacts: a metrics snapshot
+// (stage spans, counters, histograms) and a Chrome trace-event timeline
+// (host pipeline stages, traced-run rank tracks with phase boundaries,
+// signature execution rank tracks). Open the timeline at
+// https://ui.perfetto.dev or chrome://tracing.
+func cmdProfile(args []string) error {
+	// Accept the app as a positional argument: pas2p profile cg -ranks 16.
+	var app string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		app, args = args[0], args[1:]
+	}
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	ranks := fs.Int("ranks", 16, "number of processes")
+	workload := fs.String("workload", "", "workload name (default: app's default)")
+	base := fs.String("base", "A", "base cluster (signature construction)")
+	target := fs.String("target", "B", "target cluster (prediction)")
+	cores := fs.Int("cores", 0, "restrict the target to this many cores")
+	metricsOut := fs.String("metrics", "", "metrics JSON path (default <app>.metrics.json)")
+	timelineOut := fs.String("timeline", "", "trace-event JSON path (default <app>.trace.json)")
+	promOut := fs.String("prom", "", "also write the metrics in Prometheus text format")
+	noTruth := fs.Bool("no-ground-truth", false, "skip the full target run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if app == "" {
+		return fmt.Errorf("profile: usage: pas2p profile <app> [-ranks N] ...")
+	}
+	a, err := apps.Make(app, *ranks, *workload)
+	if err != nil {
+		return err
+	}
+	bd, err := deployFor(*base, 0, *ranks)
+	if err != nil {
+		return err
+	}
+	td, err := deployFor(*target, *cores, *ranks)
+	if err != nil {
+		return err
+	}
+
+	o := obs.NewWithTimeline()
+	t0 := time.Now()
+	out, err := predict.Run(predict.Experiment{
+		App: a, Base: bd, Target: td,
+		EventOverhead: 8 * vtime.Microsecond,
+		SkipTargetAET: *noTruth,
+		Observer:      o,
+	})
+	wall := time.Since(t0)
+	if err != nil {
+		return err
+	}
+
+	snap := o.Registry.Snapshot()
+	snap.AddPipelineTrack(o.Timeline, "pipeline (wall clock)")
+
+	mPath := *metricsOut
+	if mPath == "" {
+		mPath = app + ".metrics.json"
+	}
+	tPath := *timelineOut
+	if tPath == "" {
+		tPath = app + ".trace.json"
+	}
+	if err := writeSnapshot(snap, mPath, *promOut); err != nil {
+		return err
+	}
+	if err := writeTimeline(o.Timeline, tPath); err != nil {
+		return err
+	}
+
+	fmt.Printf("profiled %s (%d ranks): PET %.2fs, SET %.2fs", app, *ranks,
+		out.PET.Seconds(), out.SET.Seconds())
+	if !*noTruth {
+		fmt.Printf(", AET %.2fs, PETE %.2f%%", out.AETTarget.Seconds(), out.PETEPercent)
+	}
+	fmt.Println()
+	printSpanReport(snap, wall)
+	fmt.Printf("metrics : %s\n", mPath)
+	fmt.Printf("timeline: %s (%d events; open in Perfetto)\n", tPath, o.Timeline.Len())
+	return nil
+}
+
+// printSpanReport lists the recorded stage spans and their share of the
+// measured wall time. The pipeline spans are disjoint, so the shares
+// sum to the fraction of the run the instrumentation accounts for.
+func printSpanReport(snap *obs.Snapshot, wall time.Duration) {
+	if len(snap.Spans) == 0 || wall <= 0 {
+		return
+	}
+	var total int64
+	fmt.Println("stage spans:")
+	for _, sp := range snap.Spans {
+		total += sp.WallNS
+		fmt.Printf("  %-20s %10.3fms  %6.1f%%  (%d allocs)\n",
+			sp.Name, float64(sp.WallNS)/1e6,
+			100*float64(sp.WallNS)/float64(wall.Nanoseconds()), sp.Allocs)
+	}
+	fmt.Printf("span coverage: %.1f%% of %.3fms wall\n",
+		100*float64(total)/float64(wall.Nanoseconds()), float64(wall.Nanoseconds())/1e6)
+}
+
+// writeSnapshot writes the metrics snapshot as JSON and, optionally, in
+// Prometheus text format.
+func writeSnapshot(snap *obs.Snapshot, jsonPath, promPath string) error {
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if promPath != "" {
+		f, err := os.Create(promPath)
+		if err != nil {
+			return err
+		}
+		if err := snap.WritePrometheus(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTimeline writes the trace-event file.
+func writeTimeline(tl *obs.Timeline, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tl.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// timelineFromTrace renders an existing tracefile's events as rank
+// tracks (one slice per communication event, at its recorded virtual
+// Enter/Exit), so `pas2p analyze -timeline` produces a viewable
+// timeline without re-running the application.
+func timelineFromTrace(tl *obs.Timeline, tr *trace.Trace) int {
+	pid := tl.NewProcess(fmt.Sprintf("trace:%s (%d ranks)", tr.AppName, tr.Procs))
+	for p := 0; p < tr.Procs; p++ {
+		tl.SetThreadName(pid, p, fmt.Sprintf("rank %d", p))
+	}
+	for i := range tr.Events {
+		ev := &tr.Events[i]
+		cat := "comm"
+		if ev.Kind == trace.Collective {
+			cat = "collective"
+		}
+		tl.Slice(pid, int(ev.Process), ev.Kind.String(), cat,
+			float64(ev.Enter)/1e3, float64(ev.Exit.Sub(ev.Enter))/1e3)
+	}
+	return pid
+}
+
+// addPhaseBoundaries marks each phase occurrence's start as an instant
+// event on the given track. Occurrence durations tile the run, so the
+// running sum over StartTick-ordered occurrences recovers each start on
+// the traced run's virtual clock.
+func addPhaseBoundaries(tl *obs.Timeline, pid int, an *phase.Analysis) {
+	type occ struct {
+		id  int
+		dur vtime.Duration
+		at  int
+	}
+	var occs []occ
+	for _, p := range an.Phases {
+		for _, oc := range p.Occurrences {
+			occs = append(occs, occ{id: p.ID, dur: oc.Dur, at: oc.StartTick})
+		}
+	}
+	sort.Slice(occs, func(i, j int) bool { return occs[i].at < occs[j].at })
+	var t vtime.Duration
+	for _, oc := range occs {
+		tl.Instant(pid, 0, fmt.Sprintf("phase %d", oc.id), float64(t)/1e3)
+		t += oc.dur
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"pas2p/internal/machine"
+	"pas2p/internal/obs"
 	"pas2p/internal/sim"
 	"pas2p/internal/trace"
 	"pas2p/internal/vtime"
@@ -63,6 +64,15 @@ type RunConfig struct {
 	// AlgorithmicCollectives walks real collective algorithms for
 	// per-member completion skew (see sim.Config).
 	AlgorithmicCollectives bool
+	// Observer, when non-nil, forwards run metrics and (optionally) a
+	// per-rank virtual-time timeline to the observability layer (see
+	// sim.Config.Observer).
+	Observer *obs.Observer
+	// TimelinePID and TimelineLabel forward to sim.Config.TimelinePID /
+	// TimelineName: a pre-allocated timeline process to reuse, or a
+	// label for a fresh one.
+	TimelinePID   int
+	TimelineLabel string
 }
 
 // RunResult reports one execution.
@@ -114,6 +124,9 @@ func Run(app App, cfg RunConfig) (*RunResult, error) {
 		Deployment: cfg.Deployment, Body: body, Name: app.Name,
 		NICContention:          cfg.NICContention,
 		AlgorithmicCollectives: cfg.AlgorithmicCollectives,
+		Observer:               cfg.Observer,
+		TimelinePID:            cfg.TimelinePID,
+		TimelineName:           cfg.TimelineLabel,
 	})
 	if err != nil {
 		return nil, err
@@ -205,6 +218,14 @@ func (c *Comm) Elapse(d vtime.Duration) { c.p.Advance(d) }
 func (c *Comm) SetMode(computeScale float64, commFree bool) {
 	c.p.SetMode(sim.Mode{ComputeScale: computeScale, CommFree: commFree})
 }
+
+// TimelineOn reports whether this run records a timeline; callers
+// guard annotation-string construction with it.
+func (c *Comm) TimelineOn() bool { return c.p.TimelineOn() }
+
+// Annotate marks this rank's timeline track with an instant event at
+// the current virtual time (no-op without a timeline).
+func (c *Comm) Annotate(name string) { c.p.Annotate(name) }
 
 // worldPeer translates a communicator rank to a world rank.
 func (c *Comm) worldPeer(r int) int {

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrency hammers one counter, one gauge and one
+// histogram from many goroutines; totals must be exact. The CI race
+// run covers this test, so any unsynchronised access also fails -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				// Name resolution races the map get-or-create on
+				// purpose; real call sites may do either.
+				r.Counter("c").Inc()
+				r.Histogram("h", []float64{10, 100}).Observe(float64(i % 200))
+				r.Gauge("g").Set(float64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	h := r.Histogram("h", nil)
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	// Each worker observes 0..199 five times: sum per worker = 5 * (199*200/2).
+	want := float64(workers) * 5 * 199 * 200 / 2
+	if h.Sum() != want {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), want)
+	}
+	if g := r.Gauge("g").Value(); g < 0 || g >= workers {
+		t.Errorf("gauge = %v, want a worker id", g)
+	}
+}
+
+// TestRegistrySpanConcurrency appends spans from many goroutines, as
+// AnalyzeAll's worker pool does.
+func TestRegistrySpanConcurrency(t *testing.T) {
+	o := New()
+	const n = 64
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func() {
+			defer wg.Done()
+			sp := o.StartSpan("stage")
+			sp.SetCounter("k", 1)
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	if got := len(o.Registry.Snapshot().Spans); got != n {
+		t.Errorf("recorded %d spans, want %d", got, n)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	s := r.Snapshot().Histograms["lat"]
+	// Prometheus semantics: v <= bound. le=1: {0.5, 1}; le=2: {1.5, 2};
+	// le=4: {3, 4}; +Inf: {5}.
+	wantCounts := []int64{2, 2, 2, 1}
+	for i, w := range wantCounts {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d count = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 7 || s.Sum != 17 {
+		t.Errorf("count/sum = %d/%v, want 7/17", s.Count, s.Sum)
+	}
+}
+
+// fixedSnapshot builds a snapshot with deterministic content for the
+// golden-output tests.
+func fixedSnapshot() *Snapshot {
+	r := NewRegistry()
+	r.Counter("sim.messages").Add(42)
+	r.Counter("sim.bytes").Add(1 << 20)
+	r.Gauge("profile.wall_seconds").Set(1.5)
+	h := r.Histogram("sim.msg_bytes", []float64{1024, 65536})
+	h.Observe(512)
+	h.Observe(2048)
+	h.Observe(1 << 20)
+	s := r.Snapshot()
+	s.TakenAt = time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	s.Spans = []SpanRecord{{
+		Name:   "phase.extract",
+		Start:  time.Date(2026, 8, 5, 11, 59, 0, 0, time.UTC),
+		WallNS: 2_500_000, Allocs: 10, AllocBytes: 4096,
+		Counters: []SpanCounter{{Name: "phases_found", Value: 7}},
+	}}
+	return s
+}
+
+func TestSnapshotJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedSnapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "taken_at": "2026-08-05T12:00:00Z",
+  "counters": {
+    "sim.bytes": 1048576,
+    "sim.messages": 42
+  },
+  "gauges": {
+    "profile.wall_seconds": 1.5
+  },
+  "histograms": {
+    "sim.msg_bytes": {
+      "bounds": [
+        1024,
+        65536
+      ],
+      "counts": [
+        1,
+        1,
+        1
+      ],
+      "sum": 1051136,
+      "count": 3
+    }
+  },
+  "spans": [
+    {
+      "name": "phase.extract",
+      "start": "2026-08-05T11:59:00Z",
+      "wall_ns": 2500000,
+      "allocs": 10,
+      "alloc_bytes": 4096,
+      "counters": [
+        {
+          "name": "phases_found",
+          "value": 7
+        }
+      ]
+    }
+  ]
+}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("JSON snapshot mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestSnapshotPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := fixedSnapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE pas2p_sim_bytes counter",
+		"pas2p_sim_bytes 1048576",
+		"# TYPE pas2p_sim_messages counter",
+		"pas2p_sim_messages 42",
+		"# TYPE pas2p_profile_wall_seconds gauge",
+		"pas2p_profile_wall_seconds 1.5",
+		"# TYPE pas2p_sim_msg_bytes histogram",
+		`pas2p_sim_msg_bytes_bucket{le="1024"} 1`,
+		`pas2p_sim_msg_bytes_bucket{le="65536"} 2`,
+		`pas2p_sim_msg_bytes_bucket{le="+Inf"} 3`,
+		"pas2p_sim_msg_bytes_sum 1051136",
+		"pas2p_sim_msg_bytes_count 3",
+		"# TYPE pas2p_span_wall_seconds gauge",
+		`pas2p_span_wall_seconds{span="phase.extract"} 0.0025`,
+		"# TYPE pas2p_span_allocs gauge",
+		`pas2p_span_allocs{span="phase.extract"} 10`,
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("Prometheus snapshot mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestPromFloatEdgeCases(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {1.5, "1.5"}, {0, "0"},
+		{math.Inf(1), "+Inf"}, {math.Inf(-1), "-Inf"}, {math.NaN(), "NaN"},
+	} {
+		if got := promFloat(tc.in); got != tc.want {
+			t.Errorf("promFloat(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestNilObserverZeroAlloc enforces the Observer seam's core contract:
+// every hook an instrumented stage calls — StartSpan, SetCounter, End,
+// timeline recording — is allocation-free when no observer is
+// configured. The pipeline's nil-observer path is exactly these hooks,
+// so zero here means Analyze and the sim run bit-identical work to the
+// pre-instrumentation code.
+func TestNilObserverZeroAlloc(t *testing.T) {
+	var o *Observer
+	var tl *Timeline
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := o.StartSpan("stage")
+		sp.SetCounter("events", 123)
+		sp.End()
+		if r := o.Reg(); r != nil {
+			t.Fatal("nil observer returned a registry")
+		}
+		if got := o.TL(); got != nil {
+			t.Fatal("nil observer returned a timeline")
+		}
+		tl.Slice(1, 0, "compute", "compute", 0, 10)
+		tl.Instant(1, 0, "ckpt", 5)
+		if o.MetricsOnly() != nil {
+			t.Fatal("nil observer produced a metrics-only observer")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("nil-observer hooks allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+func TestSpanRecordsWallAndCounters(t *testing.T) {
+	o := New()
+	sp := o.StartSpan("stage")
+	sp.SetCounter("a", 1)
+	sp.SetCounter("a", 2) // overwrite
+	sp.SetCounter("b", 3)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	spans := o.Registry.Snapshot().Spans
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	rec := spans[0]
+	if rec.Name != "stage" || rec.WallNS < int64(time.Millisecond) {
+		t.Errorf("span = %+v, want name 'stage' and >=1ms wall", rec)
+	}
+	want := []SpanCounter{{Name: "a", Value: 2}, {Name: "b", Value: 3}}
+	if len(rec.Counters) != 2 || rec.Counters[0] != want[0] || rec.Counters[1] != want[1] {
+		t.Errorf("counters = %v, want %v", rec.Counters, want)
+	}
+}

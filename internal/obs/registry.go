@@ -1,0 +1,306 @@
+// Package obs is the pipeline's observability layer: a zero-dependency
+// metrics registry (atomic counters, gauges and fixed-bucket
+// histograms, snapshot-able to JSON and Prometheus text format),
+// lightweight stage spans that record wall time, allocations and
+// stage-specific counters, and a Chrome trace-event timeline exporter
+// that renders both the host-side pipeline stages (wall clock) and the
+// simulated ranks (virtual clock) as tracks loadable in
+// chrome://tracing or Perfetto.
+//
+// Everything is pull-based: stages write into atomic cells or
+// mutex-guarded append-only slices, and exporters read a consistent
+// snapshot on demand. There are no channels, no background goroutines
+// and no sampling loops, so instrumentation cost is a handful of
+// atomic operations on the instrumented path and exactly zero work —
+// zero allocations included — when no Observer is configured (every
+// entry point is nil-safe).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic count.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable float64 value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket histogram with Prometheus semantics: an
+// observation lands in the first bucket whose upper bound is >= the
+// value; values above every bound land in the implicit +Inf bucket.
+// Buckets are fixed at creation, so Observe is wait-free except for
+// the sum, which uses a CAS loop.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds, exclusive of +Inf
+	counts []atomic.Int64
+	inf    atomic.Int64
+	sumB   atomic.Uint64 // float64 bits
+	count  atomic.Int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	if i < len(h.bounds) {
+		h.counts[i].Add(1)
+	} else {
+		h.inf.Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumB.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumB.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Sum returns the running sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumB.Load()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Registry holds named metrics and completed spans. Metric lookup
+// takes a mutex (get-or-create on a map); the returned cells are
+// updated with atomics only, so hot paths should hold on to the cell
+// rather than re-resolve the name per operation.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	bounds   map[string][]float64
+	spans    []SpanRecord
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		bounds:   make(map[string][]float64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// sorted upper bounds on first use (later calls ignore the bounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs))}
+		r.hists[name] = h
+		r.bounds[name] = bs
+	}
+	return h
+}
+
+func (r *Registry) addSpan(rec SpanRecord) {
+	r.mu.Lock()
+	r.spans = append(r.spans, rec)
+	r.mu.Unlock()
+}
+
+// HistSnapshot is one histogram's frozen state.
+type HistSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts has one extra final
+	// entry for the implicit +Inf bucket.
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+	Sum    float64   `json:"sum"`
+	Count  int64     `json:"count"`
+}
+
+// Snapshot is a consistent copy of a registry's state.
+type Snapshot struct {
+	TakenAt    time.Time               `json:"taken_at"`
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+	Spans      []SpanRecord            `json:"spans"`
+}
+
+// Snapshot freezes the registry's current state.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := &Snapshot{
+		TakenAt:    time.Now(),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistSnapshot, len(r.hists)),
+		Spans:      append([]SpanRecord(nil), r.spans...),
+	}
+	for n, c := range r.counters {
+		s.Counters[n] = c.Value()
+	}
+	for n, g := range r.gauges {
+		s.Gauges[n] = g.Value()
+	}
+	for n, h := range r.hists {
+		hs := HistSnapshot{
+			Bounds: r.bounds[n],
+			Counts: make([]int64, len(h.counts)+1),
+			Sum:    h.Sum(),
+			Count:  h.Count(),
+		}
+		for i := range h.counts {
+			hs.Counts[i] = h.counts[i].Load()
+		}
+		hs.Counts[len(h.counts)] = h.inf.Load()
+		s.Histograms[n] = hs
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON. Map keys are
+// emitted sorted (encoding/json semantics), so output is deterministic
+// for a given state.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text
+// exposition format. Metric names are sanitised to the Prometheus
+// charset; spans are exported as pas2p_span_wall_seconds /
+// pas2p_span_allocs gauges labelled by span name.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	for _, n := range sortedKeys(s.Counters) {
+		pn := promName(n)
+		p("# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+	}
+	for _, n := range sortedKeys(s.Gauges) {
+		pn := promName(n)
+		p("# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[n]))
+	}
+	for _, n := range sortedKeys(s.Histograms) {
+		h := s.Histograms[n]
+		pn := promName(n)
+		p("# TYPE %s histogram\n", pn)
+		cum := int64(0)
+		for i, b := range h.Bounds {
+			cum += h.Counts[i]
+			p("%s_bucket{le=%q} %d\n", pn, promFloat(b), cum)
+		}
+		cum += h.Counts[len(h.Counts)-1]
+		p("%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		p("%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count)
+	}
+	if len(s.Spans) > 0 {
+		p("# TYPE pas2p_span_wall_seconds gauge\n")
+		for _, sp := range s.Spans {
+			p("pas2p_span_wall_seconds{span=%q} %s\n", sp.Name, promFloat(float64(sp.WallNS)/1e9))
+		}
+		p("# TYPE pas2p_span_allocs gauge\n")
+		for _, sp := range s.Spans {
+			p("pas2p_span_allocs{span=%q} %d\n", sp.Name, sp.Allocs)
+		}
+	}
+	return err
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// promName maps a dotted metric name onto the Prometheus charset and
+// prefixes it with the tool name.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("pas2p_")
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a float the way Prometheus expects (no exponent
+// for integral values, "+Inf"/"-Inf"/"NaN" spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}

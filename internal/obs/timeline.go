@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// TraceEvent is one entry of the Chrome trace-event format
+// (chrome://tracing, Perfetto, catapult). Ts and Dur are microseconds;
+// the pipeline writes wall-clock tracks and virtual-time tracks as
+// separate pids so their unrelated clock bases never share an axis.
+type TraceEvent struct {
+	Name string `json:"name"`
+	Cat  string `json:"cat,omitempty"`
+	// Ph is the phase: "X" complete slice, "i" instant, "M" metadata.
+	Ph  string  `json:"ph"`
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur,omitempty"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+	// S scopes instant events ("t" thread) so viewers draw a tick on
+	// the owning track instead of a page-wide line.
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// Timeline accumulates trace events. All methods are safe for
+// concurrent use and nil-safe: a nil *Timeline swallows every call, so
+// callers can thread one unconditionally.
+type Timeline struct {
+	mu      sync.Mutex
+	nextPID int
+	events  []TraceEvent
+}
+
+// NewTimeline returns an empty timeline.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// NewProcess allocates a fresh pid (a top-level track group in the
+// viewer) and names it. Returns 0 on a nil timeline.
+func (t *Timeline) NewProcess(name string) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextPID++
+	pid := t.nextPID
+	t.events = append(t.events, TraceEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]string{"name": name},
+	})
+	return pid
+}
+
+// SetThreadName names one track (tid) within a process group.
+func (t *Timeline) SetThreadName(pid, tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+		Args: map[string]string{"name": name},
+	})
+	t.mu.Unlock()
+}
+
+// Slice records a complete slice ("X" event) on a track. ts and dur
+// are microseconds.
+func (t *Timeline) Slice(pid, tid int, name, cat string, ts, dur float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Cat: cat, Ph: "X", Ts: ts, Dur: dur, Pid: pid, Tid: tid,
+	})
+	t.mu.Unlock()
+}
+
+// Instant records a thread-scoped instant event on a track, at ts
+// microseconds.
+func (t *Timeline) Instant(pid, tid int, name string, ts float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, TraceEvent{
+		Name: name, Ph: "i", Ts: ts, Pid: pid, Tid: tid, S: "t",
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded events (metadata included).
+func (t *Timeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// traceFile is the JSON object format of the trace-event spec.
+type traceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON renders the timeline in the trace-event JSON object
+// format. Events are emitted metadata-first, then sorted by
+// (pid, tid, ts, -dur) so each track's timestamps are monotonic and
+// nested slices follow their parents — deterministic output for a
+// given set of recordings.
+func (t *Timeline) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	evs := append([]TraceEvent(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if (a.Ph == "M") != (b.Ph == "M") {
+			return a.Ph == "M"
+		}
+		if a.Pid != b.Pid {
+			return a.Pid < b.Pid
+		}
+		if a.Tid != b.Tid {
+			return a.Tid < b.Tid
+		}
+		if a.Ts != b.Ts {
+			return a.Ts < b.Ts
+		}
+		// Longer slice first at equal start: the parent of a nest.
+		return a.Dur > b.Dur
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// AddPipelineTrack renders a snapshot's spans as wall-clock slices on
+// a fresh process track, so the host-side pipeline stages appear in
+// the same trace file as the simulated ranks. Timestamps are
+// microseconds since the earliest span start.
+func (s *Snapshot) AddPipelineTrack(t *Timeline, name string) {
+	if t == nil || len(s.Spans) == 0 {
+		return
+	}
+	t0 := s.Spans[0].Start
+	for _, sp := range s.Spans {
+		if sp.Start.Before(t0) {
+			t0 = sp.Start
+		}
+	}
+	pid := t.NewProcess(name)
+	t.SetThreadName(pid, 0, "stages")
+	for _, sp := range s.Spans {
+		t.Slice(pid, 0, sp.Name, "pipeline",
+			float64(sp.Start.Sub(t0).Nanoseconds())/1e3,
+			float64(sp.WallNS)/1e3)
+	}
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// buildTimeline records events out of order across two rank tracks to
+// exercise WriteJSON's sorting.
+func buildTimeline() *Timeline {
+	tl := NewTimeline()
+	pid := tl.NewProcess("sim:cg.16")
+	tl.SetThreadName(pid, 1, "rank 1")
+	tl.SetThreadName(pid, 0, "rank 0")
+	tl.Slice(pid, 1, "compute", "compute", 50, 25)
+	tl.Slice(pid, 0, "recv", "comm", 30, 10)
+	tl.Slice(pid, 0, "compute", "compute", 0, 20)
+	// Nested: an outer wait slice containing a compute slice at the
+	// same start time — the longer one must sort first.
+	tl.Slice(pid, 1, "compute", "compute", 100, 5)
+	tl.Slice(pid, 1, "recv-wait", "comm", 100, 40)
+	tl.Instant(pid, 0, "phase 3 start", 20)
+	return tl
+}
+
+func TestTimelineWriteJSONValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTimeline().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents     []TraceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if f.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", f.DisplayTimeUnit)
+	}
+	if len(f.TraceEvents) != 9 {
+		t.Fatalf("got %d events, want 9", len(f.TraceEvents))
+	}
+
+	// Metadata events come first so viewers can name tracks before any
+	// slice references them.
+	seenSlice := false
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" {
+			if seenSlice {
+				t.Errorf("metadata event %q after a slice event", ev.Name)
+			}
+			continue
+		}
+		seenSlice = true
+	}
+
+	// Per-track timestamps must be monotonic non-decreasing, and at
+	// equal ts the longer (enclosing) slice must come first.
+	type key struct{ pid, tid int }
+	last := map[key]TraceEvent{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		k := key{ev.Pid, ev.Tid}
+		if prev, ok := last[k]; ok {
+			if ev.Ts < prev.Ts {
+				t.Errorf("track %v: ts went backwards (%v after %v)", k, ev.Ts, prev.Ts)
+			}
+			if ev.Ts == prev.Ts && ev.Dur > prev.Dur {
+				t.Errorf("track %v: nested slice %q precedes its parent", k, prev.Name)
+			}
+		}
+		last[k] = ev
+	}
+}
+
+func TestTimelineInstantScopedToThread(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildTimeline().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "i" {
+			found = true
+			if ev.S != "t" {
+				t.Errorf("instant event scope = %q, want t", ev.S)
+			}
+		}
+	}
+	if !found {
+		t.Error("no instant event in output")
+	}
+}
+
+func TestNilTimelineWriteJSON(t *testing.T) {
+	var tl *Timeline
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("nil-timeline output is not valid JSON: %v", err)
+	}
+	if len(f.TraceEvents) != 0 {
+		t.Errorf("nil timeline produced %d events", len(f.TraceEvents))
+	}
+}
+
+func TestTimelineProcessIDsDistinct(t *testing.T) {
+	tl := NewTimeline()
+	a := tl.NewProcess("a")
+	b := tl.NewProcess("b")
+	if a == b || a == 0 || b == 0 {
+		t.Errorf("pids = %d, %d; want distinct non-zero", a, b)
+	}
+}
+
+func TestAddPipelineTrack(t *testing.T) {
+	base := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	s := &Snapshot{Spans: []SpanRecord{
+		{Name: "predict.order", Start: base.Add(5 * time.Millisecond), WallNS: 1e6},
+		{Name: "phase.extract", Start: base, WallNS: 4e6},
+	}}
+	tl := NewTimeline()
+	s.AddPipelineTrack(tl, "pipeline")
+	var buf bytes.Buffer
+	if err := tl.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f traceFile
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	var slices []TraceEvent
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" {
+			slices = append(slices, ev)
+		}
+	}
+	if len(slices) != 2 {
+		t.Fatalf("got %d slices, want 2", len(slices))
+	}
+	// Earliest span start anchors ts=0.
+	if slices[0].Name != "phase.extract" || slices[0].Ts != 0 || slices[0].Dur != 4000 {
+		t.Errorf("first slice = %+v, want phase.extract at ts 0 dur 4000", slices[0])
+	}
+	if slices[1].Name != "predict.order" || slices[1].Ts != 5000 || slices[1].Dur != 1000 {
+		t.Errorf("second slice = %+v, want predict.order at ts 5000 dur 1000", slices[1])
+	}
+}

@@ -38,6 +38,12 @@ type matcher struct {
 	winTab      countTable
 	winPP       []int32
 	winProfiled bool
+
+	// Extraction-wide tallies for the observability span: candidates
+	// actually scored with the full similarity test, candidates
+	// eliminated by the counting bound, and window-equality cache hits.
+	// Updated only on the extraction goroutine.
+	nScored, nPruned, nCacheHits int64
 }
 
 // bucketCache remembers the last window seen at a given tick length
@@ -117,6 +123,7 @@ func (m *matcher) cacheHit(cells [][]Cell, events int) *Phase {
 			}
 		}
 	}
+	m.nCacheHits++
 	return c.phase
 }
 
@@ -142,6 +149,7 @@ func (m *matcher) match(cells [][]Cell, events int) *Phase {
 	}
 	if len(cands) <= directScoreBucket {
 		for _, c := range cands {
+			m.nScored++
 			if similarCells(c.phase.Cells, cells, c.phase.Events, events, m.cfg) {
 				return c.phase
 			}
@@ -156,11 +164,13 @@ func (m *matcher) match(cells [][]Cell, events int) *Phase {
 		}
 	}
 	m.scratch = live
+	m.nPruned += int64(len(cands) - len(live))
 	if len(live) == 0 {
 		return nil
 	}
 	if !m.cfg.ExtractParallel || m.workers == 1 || len(live) < parallelMinCandidates {
 		for _, c := range live {
+			m.nScored++
 			if similarCells(c.phase.Cells, cells, c.phase.Events, events, m.cfg) {
 				return c.phase
 			}
@@ -176,7 +186,7 @@ func (m *matcher) match(cells [][]Cell, events int) *Phase {
 // the one the sequential scan would have picked; candidates past the
 // current best are skipped because they can no longer influence it.
 func (m *matcher) matchParallel(live []indexEntry, cells [][]Cell, events int) *Phase {
-	var next, best atomic.Int64
+	var next, best, scored atomic.Int64
 	n := int64(len(live))
 	best.Store(n)
 	workers := m.workers
@@ -194,6 +204,7 @@ func (m *matcher) matchParallel(live []indexEntry, cells [][]Cell, events int) *
 					return
 				}
 				c := live[i]
+				scored.Add(1)
 				if similarCells(c.phase.Cells, cells, c.phase.Events, events, m.cfg) {
 					for {
 						b := best.Load()
@@ -206,6 +217,7 @@ func (m *matcher) matchParallel(live []indexEntry, cells [][]Cell, events int) *
 		}()
 	}
 	wg.Wait()
+	m.nScored += scored.Load()
 	if b := best.Load(); b < n {
 		return live[b].phase
 	}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"pas2p/internal/logical"
+	"pas2p/internal/obs"
 	"pas2p/internal/vtime"
 )
 
@@ -45,6 +46,11 @@ type Config struct {
 	// with the full cell-by-cell test — the pre-index reference path,
 	// kept for the golden equivalence tests and benchmarks.
 	naiveMatch bool
+	// Observer, when non-nil, records a "phase.extract" span with tick,
+	// scoring and pruning counters. A pointer keeps Config comparable
+	// (predict relies on == against the zero value) and nil keeps the
+	// extraction path allocation-free.
+	Observer *obs.Observer `json:"-"`
 }
 
 // DefaultConfig returns the paper's parameter values.
@@ -169,6 +175,7 @@ func ExtractWithLog(l *logical.Logical, cfg Config, logf func(format string, arg
 	if l == nil || l.NumTicks() == 0 {
 		return nil, fmt.Errorf("phase: empty logical trace")
 	}
+	sp := cfg.Observer.StartSpan("phase.extract")
 	x := &extractor{
 		l:    l,
 		cfg:  cfg,
@@ -182,6 +189,15 @@ func ExtractWithLog(l *logical.Logical, cfg Config, logf func(format string, arg
 		x.m = newMatcher(cfg)
 	}
 	x.run()
+	sp.SetCounter("ticks", int64(l.NumTicks()))
+	sp.SetCounter("events", int64(len(l.Trace.Events)))
+	sp.SetCounter("phases_found", int64(len(x.an.Phases)))
+	if x.m != nil {
+		sp.SetCounter("windows_scored", x.m.nScored)
+		sp.SetCounter("windows_pruned", x.m.nPruned)
+		sp.SetCounter("window_cache_hits", x.m.nCacheHits)
+	}
+	sp.End()
 	return x.an, nil
 }
 

@@ -13,11 +13,13 @@ package predict
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"pas2p/internal/logical"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
+	"pas2p/internal/obs"
 	"pas2p/internal/phase"
 	"pas2p/internal/signature"
 	"pas2p/internal/trace"
@@ -48,6 +50,12 @@ type Experiment struct {
 	// AlgorithmicCollectives costs collectives by their real algorithm
 	// rounds in every run of the experiment.
 	AlgorithmicCollectives bool
+	// Observer, when non-nil, records a span per pipeline stage plus
+	// sim counters, and — when it carries a timeline — rank tracks for
+	// the traced base run (with phase-boundary instants added after
+	// extraction) and the signature execution. Auxiliary runs (base,
+	// construction, target ground truth) report metrics only.
+	Observer *obs.Observer
 }
 
 // Outcome carries everything the paper's tables report.
@@ -91,6 +99,9 @@ func Run(e Experiment) (*Outcome, error) {
 	}
 	e.Signature.NICContention = e.Signature.NICContention || e.NICContention
 	e.Signature.AlgorithmicCollectives = e.Signature.AlgorithmicCollectives || e.AlgorithmicCollectives
+	o := e.Observer
+	e.PhaseConfig.Observer = o
+	e.Signature.Observer = o
 	warmOcc := e.WarmOccurrence
 	if warmOcc == 0 {
 		warmOcc = 1
@@ -99,18 +110,30 @@ func Run(e Experiment) (*Outcome, error) {
 
 	// 1. Uninstrumented base run: the AET reference for relevance and
 	//    overhead accounting.
+	sp := o.StartSpan("predict.base_run")
 	plain, err := mpi.Run(e.App, mpi.RunConfig{Deployment: e.Base,
-		NICContention: e.NICContention, AlgorithmicCollectives: e.AlgorithmicCollectives})
+		NICContention: e.NICContention, AlgorithmicCollectives: e.AlgorithmicCollectives,
+		Observer: o.MetricsOnly()})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("predict: base run: %w", err)
 	}
 	out.AETBase = plain.Elapsed
 
-	// 2. Instrumented base run: produces the tracefile.
+	// 2. Instrumented base run: produces the tracefile. Its timeline
+	//    process is pre-allocated so the phase boundaries — known only
+	//    after extraction — can be added to the same tracks.
+	tracedPID := 0
+	if tl := o.TL(); tl != nil {
+		tracedPID = tl.NewProcess(fmt.Sprintf("trace:%s (%d ranks)", e.App.Name, e.App.Procs))
+	}
+	sp = o.StartSpan("predict.traced_run")
 	traced, err := mpi.Run(e.App, mpi.RunConfig{
 		Deployment: e.Base, Trace: true, EventOverhead: e.EventOverhead,
 		NICContention: e.NICContention, AlgorithmicCollectives: e.AlgorithmicCollectives,
+		Observer: o, TimelinePID: tracedPID,
 	})
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("predict: instrumented run: %w", err)
 	}
@@ -118,17 +141,25 @@ func Run(e Experiment) (*Outcome, error) {
 	out.TFSize = trace.EncodedSize(traced.Trace)
 
 	// 3. Analysis: logical ordering, phase extraction, phase table.
-	//    TFAT is the real tool time this takes.
+	//    TFAT is the real tool time this takes. Extraction records its
+	//    own "phase.extract" span through PhaseConfig.Observer.
 	t0 := time.Now()
+	sp = o.StartSpan("predict.order")
 	l, err := logical.Order(traced.Trace)
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("predict: ordering: %w", err)
 	}
+	sp.SetCounter("events", int64(len(traced.Trace.Events)))
+	sp.SetCounter("ticks", int64(l.NumTicks()))
+	sp.End()
 	an, err := phase.Extract(l, e.PhaseConfig)
 	if err != nil {
 		return nil, fmt.Errorf("predict: extraction: %w", err)
 	}
+	sp = o.StartSpan("predict.table")
 	tb, err := an.BuildTable(warmOcc)
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("predict: table: %w", err)
 	}
@@ -136,8 +167,10 @@ func Run(e Experiment) (*Outcome, error) {
 	out.Total = tb.TotalPhases
 	out.Relevant = len(tb.RelevantRows())
 	out.Table = tb
+	emitPhaseBoundaries(o.TL(), tracedPID, an)
 
-	// 4. Signature construction on the base machine.
+	// 4. Signature construction on the base machine (records its own
+	//    "signature.build" span via Options.Observer).
 	br, err := signature.Build(e.App, tb, e.Base, e.Signature)
 	if err != nil {
 		return nil, fmt.Errorf("predict: build: %w", err)
@@ -145,7 +178,8 @@ func Run(e Experiment) (*Outcome, error) {
 	out.SCT = br.SCT
 	out.Signature = br.Signature
 
-	// 5. Signature execution on the target machine.
+	// 5. Signature execution on the target machine (records its own
+	//    "signature.execute" span, with rank tracks when tracing).
 	res, err := br.Signature.Execute(e.Target)
 	if err != nil {
 		return nil, fmt.Errorf("predict: execute: %w", err)
@@ -156,8 +190,11 @@ func Run(e Experiment) (*Outcome, error) {
 
 	// 6. Ground truth on the target.
 	if !e.SkipTargetAET {
+		sp = o.StartSpan("predict.target_run")
 		full, err := mpi.Run(e.App, mpi.RunConfig{Deployment: e.Target,
-			NICContention: e.NICContention, AlgorithmicCollectives: e.AlgorithmicCollectives})
+			NICContention: e.NICContention, AlgorithmicCollectives: e.AlgorithmicCollectives,
+			Observer: o.MetricsOnly()})
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("predict: target run: %w", err)
 		}
@@ -179,4 +216,32 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// emitPhaseBoundaries marks each phase occurrence's start on the traced
+// run's timeline. Occurrence durations tile the run (they are deltas of
+// the physical completion cuts), so the running sum over occurrences in
+// StartTick order is each occurrence's start on the traced run's
+// virtual clock.
+func emitPhaseBoundaries(tl *obs.Timeline, pid int, an *phase.Analysis) {
+	if tl == nil || pid == 0 {
+		return
+	}
+	type occ struct {
+		id  int
+		dur vtime.Duration
+		at  int
+	}
+	var occs []occ
+	for _, p := range an.Phases {
+		for _, oc := range p.Occurrences {
+			occs = append(occs, occ{id: p.ID, dur: oc.Dur, at: oc.StartTick})
+		}
+	}
+	sort.Slice(occs, func(i, j int) bool { return occs[i].at < occs[j].at })
+	var t vtime.Duration
+	for _, oc := range occs {
+		tl.Instant(pid, 0, fmt.Sprintf("phase %d", oc.id), float64(t)/1e3)
+		t += oc.dur
+	}
 }

@@ -3,7 +3,9 @@ package report
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"time"
 
 	"pas2p/internal/apps"
 	"pas2p/internal/machine"
@@ -92,6 +94,10 @@ type PerfRow struct {
 	App     string
 	Procs   int
 	Outcome *predict.Outcome
+	// WallNS and AllocBytes are the host-side cost of this row's full
+	// pipeline run (the ns/op and B/op of pas2p-bench -json).
+	WallNS     int64
+	AllocBytes int64
 }
 
 // perfSpecs mirrors the §6 experiment set: NAS class D, sweep.150, and
@@ -119,11 +125,17 @@ func RunPerf(opts Options) ([]PerfRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
 		out, err := runExperiment(sp.app, procs, sp.workload, d, d, opts)
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", sp.app, err)
 		}
-		rows = append(rows, PerfRow{App: sp.app, Procs: procs, Outcome: out})
+		rows = append(rows, PerfRow{App: sp.app, Procs: procs, Outcome: out,
+			WallNS: wall.Nanoseconds(), AllocBytes: int64(ms1.TotalAlloc - ms0.TotalAlloc)})
 	}
 	return rows, nil
 }

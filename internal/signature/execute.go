@@ -73,10 +73,13 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 		meas[i] = make([]cell, s.App.Procs)
 	}
 
+	sp := s.Options.Observer.StartSpan("signature.execute")
 	res, err := mpi.Run(s.App, mpi.RunConfig{
 		Deployment:             target,
 		NICContention:          s.Options.NICContention,
 		AlgorithmicCollectives: s.Options.AlgorithmicCollectives,
+		Observer:               s.Options.Observer,
+		TimelineLabel:          fmt.Sprintf("sig:%s (%d ranks)", s.App.Name, s.App.Procs),
 		NewInterceptor: func(rank int) mpi.Interceptor {
 			return &executorInterceptor{
 				rank: rank, segs: s.segments, restart: restartCost,
@@ -86,8 +89,10 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 		},
 	})
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("signature: execution run: %w", err)
 	}
+	sp.SetCounter("restarts", int64(len(s.segments)))
 
 	out := &ExecResult{SET: res.Elapsed}
 	for i, seg := range s.segments {
@@ -126,6 +131,7 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 			have = true
 		}
 		if !have {
+			sp.End()
 			return nil, fmt.Errorf("signature: phase %d was never measured (no process entered it)", seg.row.PhaseID)
 		}
 		// Candidate estimators for the phase execution time; see
@@ -158,6 +164,8 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 		out.Phases = append(out.Phases, m)
 		out.PET += m.Contribution()
 	}
+	sp.SetCounter("phases_measured", int64(len(out.Phases)))
+	sp.End()
 	return out, nil
 }
 
@@ -220,6 +228,9 @@ func (x *executorInterceptor) at(c *mpi.Comm, pos int64) {
 			// region with a cold machine.
 			x.cur = cell{restart: x.restart}
 			c.SetMode(1, false)
+			if c.TimelineOn() {
+				c.Annotate(fmt.Sprintf("restart ckpt (phase %d)", seg.row.PhaseID))
+			}
 			c.Elapse(x.restart)
 			warmStart := c.Now()
 			x.cur.warm = -vtime.Duration(warmStart) // finalised below
@@ -238,6 +249,9 @@ func (x *executorInterceptor) at(c *mpi.Comm, pos int64) {
 			c.SetMode(1, false)
 			x.cur.start = c.Now()
 			x.cur.started = true
+			if c.TimelineOn() {
+				c.Annotate(fmt.Sprintf("phase %d measure start", seg.row.PhaseID))
+			}
 			x.state = stMeasure
 			continue
 		case stMeasure:
@@ -246,6 +260,9 @@ func (x *executorInterceptor) at(c *mpi.Comm, pos int64) {
 			}
 			x.cur.end = c.Now()
 			x.cur.ended = true
+			if c.TimelineOn() {
+				c.Annotate(fmt.Sprintf("phase %d measure end", seg.row.PhaseID))
+			}
 			if seg.row.HasPair {
 				// Keep running at full cost through the immediately
 				// following occurrence; its completion cut gives the

@@ -20,6 +20,7 @@ import (
 	"pas2p/internal/checkpoint"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
+	"pas2p/internal/obs"
 	"pas2p/internal/phase"
 	"pas2p/internal/trace"
 	"pas2p/internal/vtime"
@@ -52,6 +53,12 @@ type Options struct {
 	// AlgorithmicCollectives matches the application runs' collective
 	// costing during construction and execution.
 	AlgorithmicCollectives bool
+	// Observer, when non-nil, records construction/execution spans,
+	// checkpoint counters and — if it carries a timeline — rank tracks
+	// with restart/measure annotations during Execute. A pointer keeps
+	// Options comparable; the json tag keeps persisted signatures free
+	// of runtime state.
+	Observer *obs.Observer `json:"-"`
 }
 
 // ETEstimator selects the phase-time estimator. The ablation
@@ -175,17 +182,27 @@ func Build(app mpi.App, tb *phase.Table, base *machine.Deployment, opts Options)
 	// checkpoint position; after the last snapshot the remainder of
 	// the run is cut off (free mode), as the signature "terminates the
 	// execution because it is not necessary to continue".
+	sp := opts.Observer.StartSpan("signature.build")
 	snapCost := opts.Checkpoint.SnapshotTime(opts.StateBytesPerRank)
 	res, err := mpi.Run(app, mpi.RunConfig{
 		Deployment:             base,
 		NICContention:          opts.NICContention,
 		AlgorithmicCollectives: opts.AlgorithmicCollectives,
+		// Metrics only: the construction run's per-event tracks would
+		// bloat the timeline without aiding prediction analysis.
+		Observer: opts.Observer.MetricsOnly(),
 		NewInterceptor: func(rank int) mpi.Interceptor {
 			return newBuilderInterceptor(rank, segs, snapCost)
 		},
 	})
 	if err != nil {
+		sp.End()
 		return nil, fmt.Errorf("signature: construction run: %w", err)
+	}
+	sp.SetCounter("checkpoints", int64(len(segs)))
+	sp.End()
+	if reg := opts.Observer.Reg(); reg != nil {
+		reg.Counter("signature.checkpoints").Add(int64(len(segs)))
 	}
 	return &BuildResult{Signature: sig, SCT: res.Elapsed, Checkpoints: len(segs)}, nil
 }

@@ -101,6 +101,13 @@ func (e *Engine) handleCollective(ps *procState, req request) (result, bool) {
 		}
 	}
 
+	if e.tl != nil && !cs.freeAll {
+		opName := req.collOp.String()
+		for i, m := range members {
+			e.slice(m, opName, "collective", cs.arrivals[i], ends[i])
+		}
+	}
+
 	var mine CollInfo
 	for i, m := range members {
 		info := CollInfo{

@@ -89,7 +89,9 @@ func (e *Engine) handle(ps *procState, req request) (result, bool) {
 		if ps.mode.ComputeScale != 1 {
 			d = vtime.Duration(math.Round(float64(d) * ps.mode.ComputeScale))
 		}
+		start := ps.clock
 		ps.clock = ps.clock.Add(d)
+		e.slice(ps.rank, "compute", "compute", start, ps.clock)
 		return result{now: ps.clock}, false
 
 	case opSetMode:
@@ -148,6 +150,9 @@ func (e *Engine) handleSend(ps *procState, req request) (result, bool) {
 	ps.sendIndex++
 	e.stats.Messages++
 	e.stats.Bytes += int64(req.size)
+	if e.msgBytes != nil {
+		e.msgBytes.Observe(float64(req.size))
+	}
 
 	info := PtPInfo{Start: ps.clock, Src: ps.rank, Dst: req.peer,
 		Tag: req.tag, Size: req.size, SendSeq: m.uid, IsSend: true}
@@ -173,6 +178,7 @@ func (e *Engine) handleSend(ps *procState, req request) (result, bool) {
 	if m.timingKnown {
 		// Eager (or free): the sender proceeds immediately.
 		info.End = m.senderDone
+		e.slice(ps.rank, "send", "comm", info.Start, m.senderDone)
 		if req.kind == opSend {
 			ps.clock = m.senderDone
 			return result{now: ps.clock, ptp: info}, false
@@ -539,6 +545,7 @@ func (e *Engine) bind(pr *postedRecv, m *message) {
 		Src: m.src, Dst: m.dst, Tag: m.tag, Size: m.size,
 		SendSeq: m.uid, Payload: m.payload,
 	}
+	e.slice(ps.rank, "recv", "comm", pr.post, complete)
 
 	e.chanFor(m.src, m.dst).compact()
 
@@ -559,6 +566,7 @@ func (e *Engine) finishRendezvous(m *message) {
 	rs.complete = m.senderDone
 	rs.info.End = m.senderDone
 	m.senderReq = nil
+	e.slice(m.src, "send", "comm", rs.info.Start, m.senderDone)
 	e.maybeWake(e.procs[m.src])
 }
 

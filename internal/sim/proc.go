@@ -96,6 +96,18 @@ func (p *Proc) Wait(ids ...int) []PtPInfo {
 	return res.ptps
 }
 
+// TimelineOn reports whether this run records a timeline, so callers
+// can skip building annotation strings that would be dropped.
+func (p *Proc) TimelineOn() bool { return p.eng.tl != nil }
+
+// Annotate emits an instant event on this rank's timeline track at the
+// current virtual time; a no-op when no timeline is recording. Safe to
+// call from the rank's own goroutine: the timeline is internally
+// locked and only one goroutine runs at a time anyway.
+func (p *Proc) Annotate(name string) {
+	p.eng.instant(p.st.rank, name, p.st.clock)
+}
+
 // Collective executes one synchronising collective operation over the
 // given members (which must include the caller). ctx distinguishes
 // communicators; every member must call collectives on a ctx in the

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"pas2p/internal/machine"
+	"pas2p/internal/obs"
 	"pas2p/internal/vtime"
 )
 
@@ -53,6 +54,18 @@ type Config struct {
 	// recursive doubling, rings), so members complete at individually
 	// skewed instants instead of one analytic completion time.
 	AlgorithmicCollectives bool
+	// Observer, when non-nil, receives run counters (messages, bytes,
+	// collectives, a message-size histogram) and — if it carries a
+	// timeline — one track per rank with compute/send/recv/collective
+	// slices over virtual time. Nil skips all instrumentation.
+	Observer *obs.Observer
+	// TimelinePID reuses an already-allocated timeline process for the
+	// rank tracks instead of allocating a fresh one; callers that need
+	// to add events to the same tracks after the run (e.g. phase
+	// boundaries discovered later) pre-allocate the pid. Zero allocates
+	// a process named TimelineName (or "sim:"+Name).
+	TimelinePID  int
+	TimelineName string
 }
 
 // Result summarises a completed run.
@@ -206,6 +219,13 @@ type Engine struct {
 	err       error
 
 	stats Result
+
+	// Timeline sink (nil when not observing) and the pid of the rank
+	// tracks; msgBytes is the pre-resolved message-size histogram so
+	// the send path never takes the registry lock.
+	tl       *obs.Timeline
+	tlPid    int
+	msgBytes *obs.Histogram
 }
 
 type msgQueue struct{ q []*message }
@@ -231,6 +251,23 @@ func Run(cfg Config) (Result, error) {
 		nodes := cfg.Deployment.Cluster.Nodes
 		e.nicTx = make([]vtime.Time, nodes)
 		e.nicRx = make([]vtime.Time, nodes)
+	}
+	if reg := cfg.Observer.Reg(); reg != nil {
+		e.msgBytes = reg.Histogram("sim.msg_bytes",
+			[]float64{64, 1024, 8192, 65536, 1 << 20})
+	}
+	if e.tl = cfg.Observer.TL(); e.tl != nil {
+		e.tlPid = cfg.TimelinePID
+		if e.tlPid == 0 {
+			name := cfg.TimelineName
+			if name == "" {
+				name = "sim:" + cfg.Name
+			}
+			e.tlPid = e.tl.NewProcess(name)
+		}
+		for i := 0; i < e.n; i++ {
+			e.tl.SetThreadName(e.tlPid, i, fmt.Sprintf("rank %d", i))
+		}
 	}
 	e.procs = make([]*procState, e.n)
 	for i := 0; i < e.n; i++ {
@@ -259,7 +296,34 @@ func Run(cfg Config) (Result, error) {
 			e.stats.Finish = ps.clock
 		}
 	}
+	if reg := cfg.Observer.Reg(); reg != nil {
+		reg.Counter("sim.runs").Inc()
+		reg.Counter("sim.messages").Add(e.stats.Messages)
+		reg.Counter("sim.bytes").Add(e.stats.Bytes)
+		reg.Counter("sim.collectives").Add(e.stats.Collectives)
+		reg.Gauge("sim.last_finish_seconds").Set(e.stats.Finish.Seconds())
+	}
 	return e.stats, nil
+}
+
+// usec converts virtual nanoseconds to trace-event microseconds.
+func usec(t vtime.Time) float64 { return float64(t) / 1e3 }
+
+// slice emits one complete slice on a rank's timeline track; a no-op
+// without a timeline or for empty intervals.
+func (e *Engine) slice(rank int, name, cat string, start, end vtime.Time) {
+	if e.tl == nil || end <= start {
+		return
+	}
+	e.tl.Slice(e.tlPid, rank, name, cat, usec(start), float64(end.Sub(start))/1e3)
+}
+
+// instant emits an instant event on a rank's timeline track.
+func (e *Engine) instant(rank int, name string, t vtime.Time) {
+	if e.tl == nil {
+		return
+	}
+	e.tl.Instant(e.tlPid, rank, name, usec(t))
 }
 
 // rankMain is the goroutine wrapper for one rank.

@@ -80,7 +80,8 @@ func TestCompressionRatioOnRepetitiveTrace(t *testing.T) {
 		t.Errorf("compression ratio %.1fx too low for a repetitive trace (%d -> %d bytes)",
 			ratio, flat.Len(), comp.Len())
 	}
-	t.Logf("flat %d bytes -> compressed %d bytes (%.1fx)", flat.Len(), comp.Len(), ratio)
+	// The achieved ratio itself is reported by BenchmarkCompressionRatio
+	// (same trace shape) via b.ReportMetric, where tooling can track it.
 }
 
 func TestCompressRoundTripWithLTs(t *testing.T) {

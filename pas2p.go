@@ -35,6 +35,7 @@ import (
 	"pas2p/internal/logical"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
+	"pas2p/internal/obs"
 	"pas2p/internal/phase"
 	"pas2p/internal/predict"
 	"pas2p/internal/scheduler"
@@ -193,18 +194,31 @@ func ExtractPhases(l *Logical, cfg PhaseConfig) (*PhaseAnalysis, error) {
 // selects which occurrence of each phase the signature will
 // checkpoint (1 = the second, leaving one occurrence to warm up).
 func Analyze(tr *Trace, cfg PhaseConfig, warmOccurrence int) (*PhaseAnalysis, *PhaseTable, error) {
+	sp := cfg.Observer.StartSpan("analyze.order")
 	l, err := logical.Order(tr)
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	sp.SetCounter("events", int64(len(tr.Events)))
+	sp.SetCounter("ticks", int64(l.NumTicks()))
+	sp.End()
+	// phase.Extract records its own "phase.extract" span via cfg.Observer.
 	an, err := phase.Extract(l, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	sp = cfg.Observer.StartSpan("analyze.table")
 	tb, err := an.BuildTable(warmOccurrence)
 	if err != nil {
+		sp.End()
 		return nil, nil, err
 	}
+	if sp != nil {
+		// RelevantRows allocates; keep it off the nil-observer path.
+		sp.SetCounter("relevant_phases", int64(len(tb.RelevantRows())))
+	}
+	sp.End()
 	return an, tb, nil
 }
 
@@ -221,6 +235,10 @@ func AnalyzeAll(traces []*Trace, cfg PhaseConfig, warmOccurrence int, workers in
 	if workers > len(traces) {
 		workers = len(traces)
 	}
+	sp := cfg.Observer.StartSpan("analyze.all")
+	sp.SetCounter("traces", int64(len(traces)))
+	sp.SetCounter("workers", int64(workers))
+	defer sp.End()
 	ans := make([]*PhaseAnalysis, len(traces))
 	tbs := make([]*PhaseTable, len(traces))
 	errs := make([]error, len(traces))
@@ -260,6 +278,31 @@ func BuildSignature(app App, tb *PhaseTable, base *Deployment, opts SignatureOpt
 
 // Predict runs the complete Fig. 12 experimental loop.
 func Predict(e Experiment) (*Outcome, error) { return predict.Run(e) }
+
+// Observability. An Observer threads through the pipeline configs
+// (PhaseConfig.Observer, SignatureOptions.Observer, RunConfig.Observer,
+// Experiment.Observer); nil — the default everywhere — keeps every
+// stage on its uninstrumented fast path.
+type (
+	// Observer bundles a metrics registry and an optional trace-event
+	// timeline.
+	Observer = obs.Observer
+	// MetricsRegistry holds named counters/gauges/histograms and
+	// completed stage spans.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a frozen registry state, writable as JSON or
+	// Prometheus text.
+	MetricsSnapshot = obs.Snapshot
+	// TraceTimeline accumulates Chrome trace-event (Perfetto) entries.
+	TraceTimeline = obs.Timeline
+)
+
+// NewObserver returns a metrics-only observer.
+func NewObserver() *Observer { return obs.New() }
+
+// NewObserverWithTimeline returns an observer that also records a
+// trace-event timeline.
+func NewObserverWithTimeline() *Observer { return obs.NewWithTimeline() }
 
 // Workload-effect extension ([2]): fit per-phase scaling laws over
 // analyses at several workload sizes and extrapolate unseen sizes.
