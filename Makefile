@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench check
+.PHONY: build test race bench check cover fuzz
 
 build:
 	$(GO) build ./...
@@ -9,17 +9,28 @@ test:
 	$(GO) test ./...
 
 # The phase and logical stages carry the concurrency (parallel fill,
-# candidate scoring, AnalyzeAll), and obs is written to by every
-# simulated rank; run them under the race detector.
+# candidate scoring, AnalyzeAll), obs is written to by every simulated
+# rank, and faults counters are bumped from rank goroutines; run them
+# under the race detector.
 race:
-	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/...
+	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/...
 
 # Seed-vs-indexed extraction comparison over the registered workloads;
 # medians over -count 3 are what README quotes.
 bench:
 	$(GO) test ./internal/phase -run xxx -bench ExtractApps -benchtime 5x -count 3
 
+# Statement coverage with the CI ratchet threshold.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Native fuzz smoke: one -fuzz target per invocation.
+fuzz:
+	$(GO) test -fuzz=FuzzCompressRoundTrip -fuzztime=10s ./internal/trace
+	$(GO) test -fuzz=FuzzLogicalOrder -fuzztime=10s ./internal/logical
+
 check: build
 	$(GO) vet ./...
-	$(GO) test ./...
-	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/...
+	$(GO) test -shuffle=on ./...
+	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/...

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+
+	"pas2p/internal/apps"
+	"pas2p/internal/faults"
+	"pas2p/internal/obs"
+	"pas2p/internal/predict"
+	"pas2p/internal/vtime"
+)
+
+// defaultChaosSpec exercises every fault class at gentle rates.
+const defaultChaosSpec = "loss=0.02,dup=0.01,delay=0.05,crash=0.05,jitter=0.005"
+
+// cmdChaos runs the prediction pipeline under deterministic fault
+// injection: seeded message loss/duplication/delay, restart crashes
+// with bounded retries, and clock jitter. The prediction degrades
+// gracefully when a phase is lost to an unrecovered crash, and — since
+// every fault decision is a pure function of the seed — a second run
+// with the same seed must reproduce the identical fault schedule and
+// prediction, which -verify (on by default) checks in-process.
+func cmdChaos(args []string) error {
+	// Accept the app as a positional argument: pas2p chaos cg -seed 7.
+	var app string
+	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
+		app, args = args[0], args[1:]
+	}
+	fs := newFlagSet("chaos")
+	ranks := fs.Int("ranks", 16, "number of processes")
+	workload := fs.String("workload", "", "workload name (default: app's default)")
+	base := fs.String("base", "A", "base cluster (signature construction)")
+	target := fs.String("target", "B", "target cluster (prediction)")
+	cores := fs.Int("cores", 0, "restrict the target to this many cores")
+	seed := fs.Int64("seed", 1, "fault schedule seed (same seed -> identical faults and prediction)")
+	spec := fs.String("faults", defaultChaosSpec,
+		"fault spec: key=value list (loss, dup, delay[:MAX], crash, attempts, jitter, skew, drift, rto, retrans, backoff)")
+	verify := fs.Bool("verify", true, "re-run with the same seed and check the outcome is identical")
+	noTruth := fs.Bool("no-ground-truth", false, "skip the fault-free full target run")
+	metricsOut := fs.String("metrics", "", "write a metrics snapshot (incl. faults.* counters) as JSON")
+	timelineOut := fs.String("timeline", "", "write a Chrome trace-event timeline with fault instants on the rank tracks")
+	if err := parseArgs(fs, args); err != nil {
+		return err
+	}
+	if app == "" {
+		return fmt.Errorf("chaos: usage: pas2p chaos <app> [-seed S] [-faults SPEC] ...")
+	}
+	if *spec == "" {
+		return fmt.Errorf("chaos: -faults must name at least one fault class")
+	}
+	if _, err := faults.ParseSpec(*seed, *spec); err != nil {
+		return err
+	}
+	a, err := apps.Make(app, *ranks, *workload)
+	if err != nil {
+		return err
+	}
+	bd, err := deployFor(*base, 0, *ranks)
+	if err != nil {
+		return err
+	}
+	td, err := deployFor(*target, *cores, *ranks)
+	if err != nil {
+		return err
+	}
+
+	// Each run gets a fresh injector from the same (seed, spec), so the
+	// verification run sees the exact schedule the first run saw.
+	run := func(o *obs.Observer) (*predict.Outcome, faults.Report, error) {
+		inj, err := faults.ParseSpec(*seed, *spec)
+		if err != nil {
+			return nil, faults.Report{}, err
+		}
+		out, err := predict.Run(predict.Experiment{
+			App: a, Base: bd, Target: td,
+			EventOverhead: 8 * vtime.Microsecond,
+			SkipTargetAET: *noTruth,
+			Observer:      o,
+			Faults:        inj,
+		})
+		if err != nil {
+			return nil, faults.Report{}, err
+		}
+		return out, inj.Report(), nil
+	}
+
+	var o *obs.Observer
+	switch {
+	case *timelineOut != "":
+		o = obs.NewWithTimeline()
+	case *metricsOut != "":
+		o = obs.New()
+	}
+	out, rep, err := run(o)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("application : %s (%d processes, workload %q)\n", app, *ranks, *workload)
+	fmt.Printf("base machine: %s\n", bd)
+	fmt.Printf("target      : %s\n", td)
+	fmt.Printf("analysis    : %d phases, %d relevant\n", out.Total, out.Relevant)
+	fmt.Printf("signature   : SET %.2fs\n", out.SET.Seconds())
+	fmt.Printf("prediction  : PET %.2fs\n", out.PET.Seconds())
+	if !*noTruth {
+		fmt.Printf("ground truth: AET %.2fs (fault-free)  ->  PETE %.2f%%\n",
+			out.AETTarget.Seconds(), out.PETEPercent)
+	}
+	fmt.Println(rep)
+	if out.Degraded {
+		fmt.Printf("DEGRADED: phases %v lost to unrecovered crashes; PET covers the surviving phases only\n",
+			out.LostPhases)
+	}
+
+	if *verify {
+		out2, rep2, err := run(nil)
+		if err != nil {
+			return fmt.Errorf("chaos: verification run: %w", err)
+		}
+		if out2.PET != out.PET || out2.SET != out.SET || rep2 != rep {
+			return fmt.Errorf("chaos: seed %d did NOT reproduce: PET %v vs %v, SET %v vs %v, faults %+v vs %+v",
+				*seed, out.PET, out2.PET, out.SET, out2.SET, rep, rep2)
+		}
+		fmt.Printf("determinism : verified — seed %d reproduces the identical fault schedule and prediction\n", *seed)
+	}
+
+	if o != nil {
+		snap := o.Registry.Snapshot()
+		snap.AddPipelineTrack(o.Timeline, "pipeline (wall clock)")
+		if err := writeSnapshot(snap, *metricsOut, ""); err != nil {
+			return err
+		}
+		if *metricsOut != "" {
+			fmt.Printf("metrics written to %s\n", *metricsOut)
+		}
+		if *timelineOut != "" {
+			if err := writeTimeline(o.Timeline, *timelineOut); err != nil {
+				return err
+			}
+			fmt.Printf("timeline written to %s (%d events; open in Perfetto)\n",
+				*timelineOut, o.Timeline.Len())
+		}
+	}
+	return nil
+}

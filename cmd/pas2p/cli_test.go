@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// TestRejectBadArgs drives every subcommand through its flag parser
+// with malformed input. Unknown flags and trailing positional
+// arguments — which flag.Parse silently ignores — must both produce an
+// error naming the subcommand, and -h must surface flag.ErrHelp so
+// main can exit 0.
+func TestRejectBadArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		cmd  func([]string) error
+		args []string
+		want string // substring of the returned error
+	}{
+		{"apps/unknown-flag", cmdApps, []string{"-bogus"}, "not defined"},
+		{"apps/trailing", cmdApps, []string{"extra"}, "unexpected argument"},
+		{"clusters/trailing", cmdClusters, []string{"junk"}, "unexpected argument"},
+		{"trace/trailing", cmdTrace, []string{"-app", "cg", "junk"}, "unexpected argument"},
+		{"trace/unknown-flag", cmdTrace, []string{"-nope"}, "not defined"},
+		{"analyze/trailing", cmdAnalyze, []string{"-trace", "f", "junk"}, "unexpected argument"},
+		{"analyze/bad-faults", cmdAnalyze, []string{"-trace", "f", "-faults", "bogus=1"}, "unknown key"},
+		{"inspect/unknown-flag", cmdInspect, []string{"-bogus"}, "not defined"},
+		{"render/unknown-flag", cmdRender, []string{"-bogus"}, "not defined"},
+		{"aet/unknown-flag", cmdAET, []string{"-nope"}, "not defined"},
+		{"predict/trailing", cmdPredict, []string{"-app", "cg", "zzz"}, "unexpected argument"},
+		{"predict/bad-faults", cmdPredict, []string{"-app", "cg", "-faults", "loss=2"}, "loss"},
+		{"profile/trailing", cmdProfile, []string{"cg", "-ranks", "4", "zzz"}, "unexpected argument"},
+		{"chaos/unknown-flag", cmdChaos, []string{"cg", "-bogus"}, "not defined"},
+		{"chaos/bad-faults", cmdChaos, []string{"cg", "-faults", "bogus=1"}, "unknown key"},
+		{"chaos/no-app", cmdChaos, []string{"-seed", "3"}, "usage"},
+		{"chaos/empty-faults", cmdChaos, []string{"cg", "-faults", ""}, "fault class"},
+		{"sign/unknown-flag", cmdSign, []string{"-x"}, "not defined"},
+		{"execsig/unknown-flag", cmdExecSig, []string{"-wat"}, "not defined"},
+		{"repo/trailing", cmdRepo, []string{"list", "extra"}, "unexpected argument"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			old := cliErrOut
+			cliErrOut = &buf
+			defer func() { cliErrOut = old }()
+
+			err := tc.cmd(tc.args)
+			if err == nil {
+				t.Fatalf("%v: want error containing %q, got nil", tc.args, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("%v: error %q does not contain %q", tc.args, err, tc.want)
+			}
+			if errors.Is(err, flag.ErrHelp) {
+				t.Fatalf("%v: parse failure must not be ErrHelp", tc.args)
+			}
+		})
+	}
+}
+
+// TestHelpFlag checks -h produces usage text and the sentinel error.
+func TestHelpFlag(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cmd  func([]string) error
+		args []string
+	}{
+		{"predict", cmdPredict, []string{"-h"}},
+		{"chaos", cmdChaos, []string{"cg", "-h"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			old := cliErrOut
+			cliErrOut = &buf
+			defer func() { cliErrOut = old }()
+
+			if err := tc.cmd(tc.args); !errors.Is(err, flag.ErrHelp) {
+				t.Fatalf("-h: want flag.ErrHelp, got %v", err)
+			}
+			if !strings.Contains(buf.String(), "Usage of") {
+				t.Fatalf("-h printed no usage text: %q", buf.String())
+			}
+		})
+	}
+}
+
+// TestUsagePrintedOnce asserts a parse failure writes the usage text to
+// cliErrOut exactly once (the flag package's own copy goes to Discard).
+func TestUsagePrintedOnce(t *testing.T) {
+	var buf bytes.Buffer
+	old := cliErrOut
+	cliErrOut = &buf
+	defer func() { cliErrOut = old }()
+
+	if err := cmdPredict([]string{"-bogus"}); err == nil {
+		t.Fatal("want parse error")
+	}
+	if n := strings.Count(buf.String(), "Usage of"); n != 1 {
+		t.Fatalf("usage printed %d times, want 1:\n%s", n, buf.String())
+	}
+}

@@ -2,12 +2,12 @@ package main
 
 import (
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"pas2p/internal/apps"
+	"pas2p/internal/faults"
 	"pas2p/internal/logical"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
@@ -20,8 +20,8 @@ import (
 )
 
 func cmdApps(args []string) error {
-	fs := flag.NewFlagSet("apps", flag.ExitOnError)
-	if err := fs.Parse(args); err != nil {
+	fs := newFlagSet("apps")
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	fmt.Printf("%-14s %-18s %s\n", "APP", "DEFAULT WORKLOAD", "WORKLOADS")
@@ -33,9 +33,9 @@ func cmdApps(args []string) error {
 }
 
 func cmdClusters(args []string) error {
-	fs := flag.NewFlagSet("clusters", flag.ExitOnError)
+	fs := newFlagSet("clusters")
 	export := fs.String("export", "", "write the named preset as JSON to stdout (template for custom clusters)")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if *export != "" {
@@ -81,7 +81,7 @@ func deployFor(clusterName string, cores, ranks int) (*machine.Deployment, error
 }
 
 func cmdTrace(args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	fs := newFlagSet("trace")
 	app := fs.String("app", "", "application name (see 'pas2p apps')")
 	procs := fs.Int("procs", 64, "number of processes")
 	workload := fs.String("workload", "", "workload name (default: app's default)")
@@ -90,7 +90,7 @@ func cmdTrace(args []string) error {
 	asJSON := fs.Bool("json", false, "write JSON instead of the binary format")
 	compress := fs.Bool("z", false, "write the compressed tracefile format")
 	overhead := fs.Duration("overhead", 0, "per-event instrumentation overhead (virtual), e.g. 8us")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if *app == "" {
@@ -140,7 +140,7 @@ func cmdTrace(args []string) error {
 }
 
 func cmdAnalyze(args []string) error {
-	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	fs := newFlagSet("analyze")
 	in := fs.String("trace", "", "input tracefile")
 	out := fs.String("o", "", "write the phase table as JSON to this path")
 	warm := fs.Int("warm", 1, "occurrence designated for checkpointing")
@@ -152,11 +152,17 @@ func cmdAnalyze(args []string) error {
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot (stage spans, counters) as JSON")
 	timelineOut := fs.String("timeline", "", "write a Chrome trace-event timeline of the tracefile")
 	promOut := fs.String("prom", "", "also write the metrics in Prometheus text format")
-	if err := fs.Parse(args); err != nil {
+	faultSpec := fs.String("faults", "", "perturb the trace's clocks before analysis, e.g. skew=5ms,drift=0.001")
+	seed := fs.Int64("seed", 1, "fault-injection seed (with -faults)")
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("analyze: -trace is required")
+	}
+	inj, err := faults.ParseSpec(*seed, *faultSpec)
+	if err != nil {
+		return err
 	}
 	var o *obs.Observer
 	switch {
@@ -173,6 +179,21 @@ func cmdAnalyze(args []string) error {
 	tr, err := trace.DecodeAny(f)
 	if err != nil {
 		return err
+	}
+	if *faultSpec != "" {
+		// Clock skew/drift tests the machine-independence of the
+		// logical ordering: the phases extracted from a skewed trace
+		// should match the clean trace's.
+		skewed, err := inj.SkewTrace(tr)
+		if err != nil {
+			return fmt.Errorf("analyze: skewing trace: %w", err)
+		}
+		if rep := inj.Report(); rep.ProcsSkewed > 0 {
+			fmt.Printf("injected clock skew into %d processes (seed %d)\n",
+				rep.ProcsSkewed, *seed)
+		}
+		tr = skewed
+		inj.Publish(o.Reg())
 	}
 	sp := o.StartSpan("analyze.order")
 	l, err := logical.Order(tr)
@@ -252,13 +273,13 @@ func cmdAnalyze(args []string) error {
 }
 
 func cmdAET(args []string) error {
-	fs := flag.NewFlagSet("aet", flag.ExitOnError)
+	fs := newFlagSet("aet")
 	app := fs.String("app", "", "application name")
 	procs := fs.Int("procs", 64, "number of processes")
 	workload := fs.String("workload", "", "workload name")
 	cluster := fs.String("cluster", "A", "cluster (A..D)")
 	cores := fs.Int("cores", 0, "restrict the cluster to this many cores")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if *app == "" {
@@ -282,7 +303,7 @@ func cmdAET(args []string) error {
 }
 
 func cmdPredict(args []string) error {
-	fs := flag.NewFlagSet("predict", flag.ExitOnError)
+	fs := newFlagSet("predict")
 	app := fs.String("app", "", "application name")
 	procs := fs.Int("procs", 64, "number of processes")
 	workload := fs.String("workload", "", "workload name")
@@ -293,11 +314,20 @@ func cmdPredict(args []string) error {
 	allPhases := fs.Bool("all-phases", false, "measure every phase, not only the relevant ones")
 	noTruth := fs.Bool("no-ground-truth", false, "skip the full target run (prediction only)")
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot (stage spans, counters) as JSON")
-	if err := fs.Parse(args); err != nil {
+	faultSpec := fs.String("faults", "", "inject faults into the pipeline, e.g. loss=0.02,crash=0.1 (see 'pas2p chaos')")
+	seed := fs.Int64("seed", 1, "fault-injection seed (with -faults)")
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if *app == "" {
 		return fmt.Errorf("predict: -app is required")
+	}
+	inj, err := faults.ParseSpec(*seed, *faultSpec)
+	if err != nil {
+		return err
+	}
+	if *faultSpec == "" {
+		inj = nil
 	}
 	a, err := apps.Make(*app, *procs, *workload)
 	if err != nil {
@@ -315,6 +345,7 @@ func cmdPredict(args []string) error {
 		App: a, Base: bd, Target: td,
 		EventOverhead: 8 * vtime.Microsecond,
 		SkipTargetAET: *noTruth,
+		Faults:        inj,
 	}
 	if *allPhases {
 		sig := exp.Signature
@@ -340,6 +371,13 @@ func cmdPredict(args []string) error {
 	if !*noTruth {
 		fmt.Printf("ground truth: AET %.2fs  ->  PETE %.2f%%  (SET is %.2f%% of AET)\n",
 			out.AETTarget.Seconds(), out.PETEPercent, out.SETvsAETPercent)
+	}
+	if inj != nil {
+		fmt.Println(inj.Report())
+		if out.Degraded {
+			fmt.Printf("DEGRADED: phases %v lost to unrecovered crashes; PET covers the surviving phases only\n",
+				out.LostPhases)
+		}
 	}
 	if *timeline {
 		printTimeline(out)

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// cliErrOut receives usage output on parse failures; tests redirect it.
+var cliErrOut io.Writer = os.Stderr
+
+// newFlagSet builds a subcommand flag set that reports errors instead
+// of exiting the process, so main prints exactly one message and tests
+// can assert on parse failures.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(io.Discard) // parseArgs prints usage once, on cliErrOut
+	return fs
+}
+
+// parseArgs parses a subcommand's arguments, printing usage and
+// returning an error on unknown flags, on -h (flag.ErrHelp), and on
+// trailing positional arguments — which flag.Parse otherwise silently
+// ignores.
+func parseArgs(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err != nil {
+		fs.SetOutput(cliErrOut)
+		fs.Usage()
+		if err == flag.ErrHelp {
+			return err
+		}
+		return fmt.Errorf("%s: %v", fs.Name(), err)
+	}
+	if fs.NArg() > 0 {
+		fs.SetOutput(cliErrOut)
+		fs.Usage()
+		return fmt.Errorf("%s: unexpected argument %q", fs.Name(), fs.Arg(0))
+	}
+	return nil
+}

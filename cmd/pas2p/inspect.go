@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
@@ -16,13 +15,13 @@ import (
 // Vampir, folded into the CLI as the paper suggests ("without
 // requiring visualization tools").
 func cmdInspect(args []string) error {
-	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	fs := newFlagSet("inspect")
 	in := fs.String("trace", "", "input tracefile")
 	proc := fs.Int("proc", -1, "dump events of this process")
 	limit := fs.Int("n", 20, "max events to dump")
 	offset := fs.Int("offset", 0, "first event to dump")
 	ticks := fs.Bool("ticks", false, "build the logical model and print tick stats")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {

@@ -16,6 +16,8 @@
 package main
 
 import (
+	"errors"
+	"flag"
 	"fmt"
 	"os"
 )
@@ -45,6 +47,8 @@ func main() {
 		err = cmdPredict(os.Args[2:])
 	case "profile":
 		err = cmdProfile(os.Args[2:])
+	case "chaos":
+		err = cmdChaos(os.Args[2:])
 	case "sign":
 		err = cmdSign(os.Args[2:])
 	case "execsig":
@@ -57,6 +61,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pas2p: unknown command %q\n", os.Args[1])
 		usage()
 		os.Exit(2)
+	}
+	if errors.Is(err, flag.ErrHelp) {
+		os.Exit(0)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pas2p: %v\n", err)
@@ -73,7 +80,7 @@ commands:
   trace    -app A -procs N [-workload W] [-cluster C] [-o FILE] [-json]
                                 instrument a run and write the tracefile
   analyze  -trace FILE [-o TABLE.json] [-metrics FILE]
-           [-timeline FILE] [-prom FILE]
+           [-timeline FILE] [-prom FILE] [-faults skew=...,drift=...]
                                 build the model, extract phases, print the
                                 phase table (paper Fig. 7)
   inspect  -trace FILE [-proc P] [-n N] [-ticks]
@@ -84,7 +91,7 @@ commands:
   aet      -app A -procs N [-workload W] [-cluster C] [-cores K]
                                 run the full application for its AET
   predict  -app A -procs N [-workload W] -base B -target T [-cores K]
-           [-timeline] [-all-phases] [-metrics FILE]
+           [-timeline] [-all-phases] [-metrics FILE] [-faults SPEC -seed S]
                                 construct the signature on the base cluster,
                                 execute it on the target, predict the AET and
                                 (with a ground-truth run) report the error
@@ -93,6 +100,12 @@ commands:
                                 run the full pipeline under instrumentation
                                 and emit a metrics snapshot plus a Chrome
                                 trace-event timeline (Perfetto-loadable)
+  chaos    APP [-ranks N] [-seed S] [-faults SPEC] [-verify=false]
+           [-metrics FILE] [-timeline FILE]
+                                run the pipeline under deterministic fault
+                                injection (message loss/dup/delay, crashes
+                                with checkpoint restart, clock jitter) and
+                                verify the seed reproduces the prediction
   sign     -app A -procs N [-workload W] [-base B] [-o SIG.json]
                                 stage A only: build the signature once and
                                 persist it

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -27,7 +26,7 @@ func cmdProfile(args []string) error {
 	if len(args) > 0 && len(args[0]) > 0 && args[0][0] != '-' {
 		app, args = args[0], args[1:]
 	}
-	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	fs := newFlagSet("profile")
 	ranks := fs.Int("ranks", 16, "number of processes")
 	workload := fs.String("workload", "", "workload name (default: app's default)")
 	base := fs.String("base", "A", "base cluster (signature construction)")
@@ -37,7 +36,7 @@ func cmdProfile(args []string) error {
 	timelineOut := fs.String("timeline", "", "trace-event JSON path (default <app>.trace.json)")
 	promOut := fs.String("prom", "", "also write the metrics in Prometheus text format")
 	noTruth := fs.Bool("no-ground-truth", false, "skip the full target run")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if app == "" {

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -13,7 +12,7 @@ import (
 
 // cmdRender draws a tracefile as an SVG timeline.
 func cmdRender(args []string) error {
-	fs := flag.NewFlagSet("render", flag.ExitOnError)
+	fs := newFlagSet("render")
 	in := fs.String("trace", "", "input tracefile")
 	out := fs.String("o", "", "output SVG (default <trace>.svg)")
 	width := fs.Int("width", 1200, "drawing width in pixels")
@@ -21,7 +20,7 @@ func cmdRender(args []string) error {
 	from := fs.Duration("from", 0, "window start (virtual, e.g. 1.5s)")
 	to := fs.Duration("to", 0, "window end (virtual; 0 = full span)")
 	noLinks := fs.Bool("no-links", false, "omit send->recv links")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 
 	"pas2p/internal/apps"
@@ -26,7 +25,7 @@ func cmdRepo(args []string) error {
 	// the common form `repo <sub> -dir ...`.
 	sub := args[0]
 	rest := args[1:]
-	fs := flag.NewFlagSet("repo "+sub, flag.ExitOnError)
+	fs := newFlagSet("repo " + sub)
 	dir := fs.String("dir", "pas2p-repo", "repository directory")
 	app := fs.String("app", "", "application name")
 	procs := fs.Int("procs", 64, "number of processes")
@@ -34,7 +33,7 @@ func cmdRepo(args []string) error {
 	base := fs.String("base", "A", "base cluster (for add)")
 	target := fs.String("target", "B", "target cluster (for predict)")
 	cores := fs.Int("cores", 0, "restrict the target to this many cores")
-	if err := fs.Parse(rest); err != nil {
+	if err := parseArgs(fs, rest); err != nil {
 		return err
 	}
 	repo, err := sigrepo.Open(*dir)

@@ -1,7 +1,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
@@ -17,14 +16,14 @@ import (
 // checkpoints, and write the signature file a later 'execsig' carries
 // to target machines.
 func cmdSign(args []string) error {
-	fs := flag.NewFlagSet("sign", flag.ExitOnError)
+	fs := newFlagSet("sign")
 	app := fs.String("app", "", "application name")
 	procs := fs.Int("procs", 64, "number of processes")
 	workload := fs.String("workload", "", "workload name")
 	base := fs.String("base", "A", "base cluster")
 	out := fs.String("o", "", "output signature file (default <app>.sig.json)")
 	allPhases := fs.Bool("all-phases", false, "capture every phase, not only relevant ones")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if *app == "" {
@@ -83,12 +82,12 @@ func cmdSign(args []string) error {
 // cmdExecSig executes a persisted signature on a target machine and
 // prints the prediction (with ground truth unless -no-ground-truth).
 func cmdExecSig(args []string) error {
-	fs := flag.NewFlagSet("execsig", flag.ExitOnError)
+	fs := newFlagSet("execsig")
 	in := fs.String("sig", "", "signature file from 'pas2p sign'")
 	target := fs.String("target", "B", "target cluster")
 	cores := fs.Int("cores", 0, "restrict the target to this many cores")
 	noTruth := fs.Bool("no-ground-truth", false, "skip the full target run")
-	if err := fs.Parse(args); err != nil {
+	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {

@@ -58,6 +58,21 @@ func (m CostModel) RestartTime(stateBytes int64) vtime.Duration {
 	return m.RestartBase + rate(stateBytes, m.RestoreRate)
 }
 
+// RestartRetryCost is the extra virtual-clock cost of failures crashed
+// restart attempts before a successful one: each failed attempt pays a
+// full RestartTime plus exponential backoff (backoff·2^k before the
+// k-th retry). Zero when no attempt failed.
+func (m CostModel) RestartRetryCost(stateBytes int64, failures int, backoff vtime.Duration) vtime.Duration {
+	if failures <= 0 {
+		return 0
+	}
+	total := vtime.Duration(failures) * m.RestartTime(stateBytes)
+	for k := 0; k < failures; k++ {
+		total += backoff << uint(k)
+	}
+	return total
+}
+
 func rate(bytes int64, bps float64) vtime.Duration {
 	if bytes <= 0 {
 		return 0

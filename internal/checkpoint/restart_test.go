@@ -1,0 +1,84 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"pas2p/internal/vtime"
+)
+
+// TestRestartRetryCostZeroFailures: a restart that succeeds first try
+// costs nothing extra.
+func TestRestartRetryCostZeroFailures(t *testing.T) {
+	m := DefaultDMTCP()
+	if got := m.RestartRetryCost(1<<20, 0, 50*vtime.Millisecond); got != 0 {
+		t.Fatalf("0 failures cost %v, want 0", got)
+	}
+	if got := m.RestartRetryCost(1<<20, -3, 50*vtime.Millisecond); got != 0 {
+		t.Fatalf("negative failures cost %v, want 0", got)
+	}
+}
+
+// TestRestartRetryCostFormula pins the exact price: each failed attempt
+// pays a full RestartTime, plus backoff·2^k before the k-th retry.
+func TestRestartRetryCostFormula(t *testing.T) {
+	m := DefaultDMTCP()
+	const state = int64(4 << 20)
+	backoff := 50 * vtime.Millisecond
+	rt := m.RestartTime(state)
+	for failures := 1; failures <= 5; failures++ {
+		want := vtime.Duration(failures) * rt
+		for k := 0; k < failures; k++ {
+			want += backoff << uint(k)
+		}
+		if got := m.RestartRetryCost(state, failures, backoff); got != want {
+			t.Fatalf("%d failures: cost %v, want %v", failures, got, want)
+		}
+	}
+}
+
+// TestRestartRetryCostGrowth: the cost is strictly increasing in the
+// failure count and grows faster than linearly (the backoff doubles).
+func TestRestartRetryCostGrowth(t *testing.T) {
+	m := DefaultDMTCP()
+	backoff := 10 * vtime.Millisecond
+	prev := vtime.Duration(0)
+	var deltas []vtime.Duration
+	for f := 1; f <= 8; f++ {
+		c := m.RestartRetryCost(1<<20, f, backoff)
+		if c <= prev {
+			t.Fatalf("cost not strictly increasing at %d failures: %v <= %v", f, c, prev)
+		}
+		deltas = append(deltas, c-prev)
+		prev = c
+	}
+	for i := 1; i < len(deltas); i++ {
+		if deltas[i] <= deltas[i-1] {
+			t.Fatalf("marginal cost of failure %d (%v) not above failure %d (%v): backoff must compound",
+				i+1, deltas[i], i, deltas[i-1])
+		}
+	}
+}
+
+// TestRestartRetryCostZeroBackoff degrades to pure restart repetition.
+func TestRestartRetryCostZeroBackoff(t *testing.T) {
+	m := DefaultDMTCP()
+	const state = int64(1 << 20)
+	for f := 1; f <= 4; f++ {
+		want := vtime.Duration(f) * m.RestartTime(state)
+		if got := m.RestartRetryCost(state, f, 0); got != want {
+			t.Fatalf("%d failures, no backoff: %v, want %v", f, got, want)
+		}
+	}
+}
+
+// TestRestartRetryCostIdempotent: CostModel is a value type; pricing
+// the same restart twice must give the same answer with no state
+// carried between calls.
+func TestRestartRetryCostIdempotent(t *testing.T) {
+	m := DefaultDMTCP()
+	a := m.RestartRetryCost(8<<20, 3, 25*vtime.Millisecond)
+	b := m.RestartRetryCost(8<<20, 3, 25*vtime.Millisecond)
+	if a != b {
+		t.Fatalf("retry pricing not idempotent: %v vs %v", a, b)
+	}
+}

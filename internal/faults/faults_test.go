@@ -1,0 +1,361 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+
+	"pas2p/internal/obs"
+	"pas2p/internal/trace"
+	"pas2p/internal/vtime"
+)
+
+func mustNew(t *testing.T, cfg Config) *Injector {
+	t.Helper()
+	inj, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return inj
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if f, ok := inj.Message(0, 1, 0, 64); ok || f != (MsgFault{}) {
+		t.Fatalf("nil Message = %+v, %v", f, ok)
+	}
+	if cf := inj.Restart(0, 0); !cf.Recovered || cf.Failures != 0 {
+		t.Fatalf("nil Restart = %+v", cf)
+	}
+	if j := inj.Jitter(0, 0); j != 1 {
+		t.Fatalf("nil Jitter = %v", j)
+	}
+	tr := skewFixture(t)
+	if out, err := inj.SkewTrace(tr); err != nil || out != tr {
+		t.Fatalf("nil SkewTrace did not pass trace through: %v %v", out, err)
+	}
+	inj.NotePhaseLost(3)
+	inj.Publish(obs.NewRegistry())
+	if r := inj.Report(); r != (Report{}) {
+		t.Fatalf("nil Report = %+v", r)
+	}
+}
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	bad := []Config{
+		{LossRate: -0.1},
+		{LossRate: 1.5},
+		{DupRate: 2},
+		{CrashRate: -1},
+		{ComputeJitter: 1},
+		{ClockDrift: 1.2},
+		{RTO: -1},
+		{MaxRetransmits: -2},
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestMessageDeterministicAcrossInjectors(t *testing.T) {
+	cfg := Config{Seed: 7, LossRate: 0.3, DupRate: 0.2, DelayRate: 0.4}
+	a := mustNew(t, cfg)
+	b := mustNew(t, cfg)
+	for src := 0; src < 4; src++ {
+		for uid := int64(0); uid < 64; uid++ {
+			fa, oka := a.Message(src, (src+1)%4, uid, 128)
+			fb, okb := b.Message(src, (src+1)%4, uid, 128)
+			if fa != fb || oka != okb {
+				t.Fatalf("msg (%d,%d): %+v/%v vs %+v/%v", src, uid, fa, oka, fb, okb)
+			}
+		}
+	}
+	if a.Report() != b.Report() {
+		t.Fatalf("reports diverged:\n%+v\n%+v", a.Report(), b.Report())
+	}
+}
+
+func TestMessageSeedChangesSchedule(t *testing.T) {
+	a := mustNew(t, Config{Seed: 1, LossRate: 0.5})
+	b := mustNew(t, Config{Seed: 2, LossRate: 0.5})
+	differs := false
+	for uid := int64(0); uid < 64 && !differs; uid++ {
+		fa, _ := a.Message(0, 1, uid, 64)
+		fb, _ := b.Message(0, 1, uid, 64)
+		differs = fa != fb
+	}
+	if !differs {
+		t.Fatal("seeds 1 and 2 produced identical 64-message schedules")
+	}
+}
+
+func TestMessageLossBoundedAndPriced(t *testing.T) {
+	inj := mustNew(t, Config{LossRate: 1, MaxRetransmits: 2, RTO: vtime.Millisecond})
+	f, ok := inj.Message(0, 1, 0, 64)
+	if !ok {
+		t.Fatal("loss=1 injected nothing")
+	}
+	if f.Retransmits != 2 {
+		t.Fatalf("retransmits = %d, want cap 2", f.Retransmits)
+	}
+	if f.Delay != 2*vtime.Millisecond {
+		t.Fatalf("delay = %v, want 2ms (2 retransmits × RTO)", f.Delay)
+	}
+	r := inj.Report()
+	if r.MsgLost != 1 || r.MsgRetransmits != 2 || r.Injected != 1 || r.Recovered != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+}
+
+func TestMessageDelayBounded(t *testing.T) {
+	inj := mustNew(t, Config{DelayRate: 1, MaxDelay: 10 * vtime.Microsecond})
+	for uid := int64(0); uid < 100; uid++ {
+		f, ok := inj.Message(2, 3, uid, 64)
+		if !ok {
+			t.Fatalf("delay=1 skipped message %d", uid)
+		}
+		if f.Delay <= 0 || f.Delay > 10*vtime.Microsecond {
+			t.Fatalf("delay %v outside (0, 10us]", f.Delay)
+		}
+	}
+}
+
+func TestRestartBoundsAndAccounting(t *testing.T) {
+	// crash=1 always exhausts the retry budget: attempts+1 failures,
+	// unrecovered.
+	inj := mustNew(t, Config{CrashRate: 1, MaxRestartAttempts: 2})
+	cf := inj.Restart(5, 0)
+	if cf.Recovered || cf.Failures != 3 {
+		t.Fatalf("crash=1: %+v, want 3 failures unrecovered", cf)
+	}
+	r := inj.Report()
+	if r.CrashEpisodes != 1 || r.CrashFailures != 3 || r.Unrecovered != 1 || r.Recovered != 0 {
+		t.Fatalf("report = %+v", r)
+	}
+
+	// crash=0 leaves restarts untouched.
+	clean := mustNew(t, Config{Seed: 9})
+	if cf := clean.Restart(5, 0); !cf.Recovered || cf.Failures != 0 {
+		t.Fatalf("crash=0: %+v", cf)
+	}
+}
+
+func TestRestartDeterministic(t *testing.T) {
+	cfg := Config{Seed: 42, CrashRate: 0.4, MaxRestartAttempts: 3}
+	a, b := mustNew(t, cfg), mustNew(t, cfg)
+	for ph := 0; ph < 8; ph++ {
+		for rank := 0; rank < 8; rank++ {
+			if fa, fb := a.Restart(ph, rank), b.Restart(ph, rank); fa != fb {
+				t.Fatalf("restart (%d,%d): %+v vs %+v", ph, rank, fa, fb)
+			}
+		}
+	}
+}
+
+func TestReportInvariant(t *testing.T) {
+	inj := mustNew(t, Config{Seed: 3, LossRate: 0.3, DupRate: 0.3, DelayRate: 0.3,
+		CrashRate: 0.3, MaxRestartAttempts: 1})
+	for uid := int64(0); uid < 200; uid++ {
+		inj.Message(int(uid)%3, (int(uid)+1)%3, uid, 64)
+	}
+	for ph := 0; ph < 10; ph++ {
+		for rank := 0; rank < 4; rank++ {
+			inj.Restart(ph, rank)
+		}
+	}
+	r := inj.Report()
+	if r.Injected == 0 {
+		t.Fatal("expected some injected faults at 30% rates")
+	}
+	if r.Injected != r.Recovered+r.Unrecovered {
+		t.Fatalf("injected %d != recovered %d + unrecovered %d",
+			r.Injected, r.Recovered, r.Unrecovered)
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	inj := mustNew(t, Config{Seed: 11, ComputeJitter: 0.05})
+	again := mustNew(t, Config{Seed: 11, ComputeJitter: 0.05})
+	varied := false
+	for seq := int64(0); seq < 100; seq++ {
+		j := inj.Jitter(1, seq)
+		if j < 0.95 || j > 1.05 {
+			t.Fatalf("jitter %v outside [0.95, 1.05]", j)
+		}
+		if j != again.Jitter(1, seq) {
+			t.Fatalf("jitter not deterministic at seq %d", seq)
+		}
+		if j != 1 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter never moved off 1")
+	}
+	if inj.Report().ClockPerturbations != 100 {
+		t.Fatalf("perturbation count = %d", inj.Report().ClockPerturbations)
+	}
+}
+
+// skewFixture builds a small two-process trace with strictly ordered
+// events and no receive relations (collectives only), so NewTrace's
+// validation passes before and after skewing.
+func skewFixture(t *testing.T) *trace.Trace {
+	t.Helper()
+	streams := make([][]trace.Event, 2)
+	for p := 0; p < 2; p++ {
+		var evs []trace.Event
+		at := vtime.Time(1000 * (p + 1))
+		for n := int64(0); n < 5; n++ {
+			evs = append(evs, trace.Event{
+				Process: int32(p), Number: n,
+				Kind: trace.Collective, Involved: 2, CollOp: 0, Peer: -1,
+				Enter: at, Exit: at.Add(500),
+				LT:   trace.NoLT,
+				RelA: 0, RelB: int64(n),
+			})
+			at = at.Add(2000)
+		}
+		streams[p] = evs
+	}
+	tr, err := trace.NewTrace("skew-fixture", 2, streams, vtime.Duration(30000))
+	if err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return tr
+}
+
+func TestSkewTracePreservesStructure(t *testing.T) {
+	tr := skewFixture(t)
+	inj := mustNew(t, Config{Seed: 5, ClockSkew: 2 * vtime.Millisecond, ClockDrift: 0.1})
+	out, err := inj.SkewTrace(tr)
+	if err != nil {
+		t.Fatalf("SkewTrace: %v", err)
+	}
+	if out == tr {
+		t.Fatal("SkewTrace returned the input trace despite skew enabled")
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("skewed trace invalid: %v", err)
+	}
+	if len(out.Events) != len(tr.Events) {
+		t.Fatalf("event count changed: %d -> %d", len(tr.Events), len(out.Events))
+	}
+	// The input must be untouched.
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("input trace mutated: %v", err)
+	}
+	changed := false
+	for p, evs := range out.PerProcess() {
+		orig := tr.PerProcess()[p]
+		for k, ev := range evs {
+			if ev.Kind != orig[k].Kind || ev.Number != orig[k].Number {
+				t.Fatalf("proc %d event %d changed identity", p, k)
+			}
+			if ev.Enter != orig[k].Enter {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("skew left every timestamp untouched")
+	}
+	if inj.Report().ProcsSkewed != 2 {
+		t.Fatalf("procs skewed = %d", inj.Report().ProcsSkewed)
+	}
+
+	// Determinism: same seed, same skewed timestamps.
+	out2, err := mustNew(t, Config{Seed: 5, ClockSkew: 2 * vtime.Millisecond, ClockDrift: 0.1}).SkewTrace(tr)
+	if err != nil {
+		t.Fatalf("SkewTrace #2: %v", err)
+	}
+	for k := range out.Events {
+		if out.Events[k].Enter != out2.Events[k].Enter || out.Events[k].Exit != out2.Events[k].Exit {
+			t.Fatalf("skew not deterministic at event %d", k)
+		}
+	}
+}
+
+func TestSkewTraceZeroConfigPassesThrough(t *testing.T) {
+	tr := skewFixture(t)
+	inj := mustNew(t, Config{Seed: 5, LossRate: 0.5})
+	if out, err := inj.SkewTrace(tr); err != nil || out != tr {
+		t.Fatalf("zero-skew SkewTrace = %v, %v; want input back", out, err)
+	}
+}
+
+func TestPublishIsDeltaBased(t *testing.T) {
+	inj := mustNew(t, Config{LossRate: 1})
+	inj.Message(0, 1, 0, 64)
+	reg := obs.NewRegistry()
+	inj.Publish(reg)
+	inj.Publish(reg) // no new faults: must not double-count
+	if got := reg.Counter("faults.msg_lost").Value(); got != 1 {
+		t.Fatalf("faults.msg_lost = %d after double publish, want 1", got)
+	}
+	inj.Message(0, 1, 1, 64)
+	inj.Publish(reg)
+	if got := reg.Counter("faults.msg_lost").Value(); got != 2 {
+		t.Fatalf("faults.msg_lost = %d after third publish, want 2", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	inj, err := ParseSpec(99, "loss=0.05, dup=0.01, delay=0.1:2ms, crash=0.2, attempts=5, jitter=0.02, skew=5ms, drift=0.001, rto=300us, retrans=4, backoff=10ms")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	cfg := inj.Config()
+	want := Config{
+		Seed: 99, LossRate: 0.05, DupRate: 0.01,
+		DelayRate: 0.1, MaxDelay: 2 * vtime.Millisecond,
+		CrashRate: 0.2, MaxRestartAttempts: 5, RestartBackoff: 10 * vtime.Millisecond,
+		ComputeJitter: 0.02, ClockSkew: 5 * vtime.Millisecond, ClockDrift: 0.001,
+		RTO: 300 * vtime.Microsecond, MaxRetransmits: 4,
+	}
+	if cfg != want {
+		t.Fatalf("parsed config\n %+v\nwant\n %+v", cfg, want)
+	}
+	if inj.Seed() != 99 {
+		t.Fatalf("seed = %d", inj.Seed())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []string{
+		"frobnicate=1", // unknown key
+		"loss",         // not key=value
+		"loss=abc",     // bad number
+		"skew=xyz",     // bad duration
+		"rto=-5ms",     // negative duration
+		"loss=1.5",     // out of range (caught by New)
+	}
+	for _, spec := range cases {
+		if _, err := ParseSpec(0, spec); err == nil {
+			t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	inj, err := ParseSpec(1, "")
+	if err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	// An empty spec builds a configured-but-inert injector.
+	if f, ok := inj.Message(0, 1, 0, 64); ok || f != (MsgFault{}) {
+		t.Fatalf("empty-spec Message = %+v, %v", f, ok)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Seed: 7, Injected: 3, Recovered: 2, Unrecovered: 1,
+		MsgLost: 1, CrashEpisodes: 2, PhasesLost: 1}
+	s := r.String()
+	for _, want := range []string{"seed 7", "3 injected", "2 recovered", "1 unrecovered", "1 phases lost"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Report.String() = %q, missing %q", s, want)
+		}
+	}
+}

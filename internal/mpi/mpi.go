@@ -16,6 +16,7 @@ package mpi
 import (
 	"fmt"
 
+	"pas2p/internal/faults"
 	"pas2p/internal/machine"
 	"pas2p/internal/obs"
 	"pas2p/internal/sim"
@@ -68,6 +69,9 @@ type RunConfig struct {
 	// per-rank virtual-time timeline to the observability layer (see
 	// sim.Config.Observer).
 	Observer *obs.Observer
+	// Faults, when non-nil, injects deterministic message and clock
+	// faults into the run (see sim.Config.Faults).
+	Faults *faults.Injector
 	// TimelinePID and TimelineLabel forward to sim.Config.TimelinePID /
 	// TimelineName: a pre-allocated timeline process to reuse, or a
 	// label for a fresh one.
@@ -125,6 +129,7 @@ func Run(app App, cfg RunConfig) (*RunResult, error) {
 		NICContention:          cfg.NICContention,
 		AlgorithmicCollectives: cfg.AlgorithmicCollectives,
 		Observer:               cfg.Observer,
+		Faults:                 cfg.Faults,
 		TimelinePID:            cfg.TimelinePID,
 		TimelineName:           cfg.TimelineLabel,
 	})

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"pas2p/internal/faults"
 	"pas2p/internal/logical"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
@@ -56,6 +57,15 @@ type Experiment struct {
 	// extraction) and the signature execution. Auxiliary runs (base,
 	// construction, target ground truth) report metrics only.
 	Observer *obs.Observer
+	// Faults, when non-nil, injects deterministic faults into the
+	// instrumented base run and the signature pipeline (construction and
+	// execution): message loss/duplication/delay, restart crashes with
+	// bounded retries, and clock jitter. The uninstrumented base run and
+	// the target ground-truth run stay fault-free — they are the
+	// references the faulted prediction is judged against. Unrecovered
+	// crashes degrade the prediction to the surviving phases (Degraded /
+	// LostPhases in the Outcome).
+	Faults *faults.Injector
 }
 
 // Outcome carries everything the paper's tables report.
@@ -81,6 +91,11 @@ type Outcome struct {
 	PETEPercent     float64 // 100·|PET-AET|/AET
 	SETvsAETPercent float64 // 100·SET/AET
 	OverheadFactor  float64 // Table 9: (AETPAS2P+TFAT+SCT+SET)/AET
+
+	// Degradation under injected faults: phases abandoned after
+	// unrecovered restart crashes, missing from PET.
+	Degraded   bool
+	LostPhases []int
 }
 
 // Run executes the full Fig. 12 loop.
@@ -102,6 +117,11 @@ func Run(e Experiment) (*Outcome, error) {
 	o := e.Observer
 	e.PhaseConfig.Observer = o
 	e.Signature.Observer = o
+	// Set after the zero-value check above so a default Options still
+	// compares equal to signature.Options{} when no faults are injected.
+	if e.Faults != nil {
+		e.Signature.Faults = e.Faults
+	}
 	warmOcc := e.WarmOccurrence
 	if warmOcc == 0 {
 		warmOcc = 1
@@ -132,6 +152,7 @@ func Run(e Experiment) (*Outcome, error) {
 		Deployment: e.Base, Trace: true, EventOverhead: e.EventOverhead,
 		NICContention: e.NICContention, AlgorithmicCollectives: e.AlgorithmicCollectives,
 		Observer: o, TimelinePID: tracedPID,
+		Faults: e.Faults,
 	})
 	sp.End()
 	if err != nil {
@@ -187,6 +208,8 @@ func Run(e Experiment) (*Outcome, error) {
 	out.SET = res.SET
 	out.PET = res.PET
 	out.Phases = res.Phases
+	out.Degraded = res.Degraded
+	out.LostPhases = res.LostPhases
 
 	// 6. Ground truth on the target.
 	if !e.SkipTargetAET {
@@ -208,6 +231,7 @@ func Run(e Experiment) (*Outcome, error) {
 	// and is typically negligible at these scales.
 	out.OverheadFactor = (out.AETPAS2P.Seconds() + out.TFAT.Seconds() +
 		out.SCT.Seconds() + out.SET.Seconds()) / out.AETBase.Seconds()
+	e.Faults.Publish(o.Reg())
 	return out, nil
 }
 

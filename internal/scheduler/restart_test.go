@@ -1,0 +1,118 @@
+package scheduler
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"pas2p/internal/vtime"
+)
+
+func randomJobs(seed int64, n, totalCores int) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	jobs := make([]Job, n)
+	var at vtime.Time
+	for i := range jobs {
+		at = at.Add(vtime.Duration(rng.Intn(30)) * vtime.Second)
+		jobs[i] = Job{
+			ID:      i,
+			Arrival: at,
+			Cores:   1 + rng.Intn(totalCores),
+			Runtime: vtime.Duration(1+rng.Intn(600)) * vtime.Second,
+		}
+		jobs[i].Estimate = jobs[i].Runtime * vtime.Duration(1+rng.Intn(4))
+	}
+	return jobs
+}
+
+// TestScheduleRestartIdempotent: feeding the same queue into a fresh
+// Schedule call — as a scheduler restarting from its job log would —
+// must reproduce the identical schedule, for both backfill policies.
+func TestScheduleRestartIdempotent(t *testing.T) {
+	for _, policy := range []BackfillPolicy{BackfillFCFS, BackfillShortest} {
+		for seed := int64(1); seed <= 6; seed++ {
+			jobs := randomJobs(seed, 40, 32)
+			r1, err := Schedule(jobs, 32, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, err := Schedule(jobs, 32, policy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(r1, r2) {
+				t.Fatalf("policy %v seed %d: restarted schedule differs", policy, seed)
+			}
+		}
+	}
+}
+
+// TestScheduleDoesNotMutateInput: the job slice is the caller's record;
+// a scheduler that reorders or rewrites it cannot be re-run.
+func TestScheduleDoesNotMutateInput(t *testing.T) {
+	jobs := randomJobs(3, 30, 16)
+	snapshot := append([]Job(nil), jobs...)
+	if _, err := Schedule(jobs, 16, BackfillShortest); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(jobs, snapshot) {
+		t.Fatal("Schedule mutated its input job slice")
+	}
+}
+
+// TestScheduleOutcomeOrderStable: outcomes come back keyed by job ID
+// regardless of the execution order backfilling chose, so a restarted
+// consumer can join them against its own records.
+func TestScheduleOutcomeOrderStable(t *testing.T) {
+	jobs := randomJobs(9, 25, 8)
+	res, err := Schedule(jobs, 8, BackfillShortest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != len(jobs) {
+		t.Fatalf("%d outcomes for %d jobs", len(res.Jobs), len(jobs))
+	}
+	seen := map[int]bool{}
+	for _, o := range res.Jobs {
+		if seen[o.Job.ID] {
+			t.Fatalf("job %d scheduled twice", o.Job.ID)
+		}
+		seen[o.Job.ID] = true
+		if o.Start.Sub(vtime.Time(0)) < o.Job.Arrival.Sub(vtime.Time(0)) {
+			t.Fatalf("job %d starts before it arrives", o.Job.ID)
+		}
+		if o.Finish.Sub(o.Start) != o.Job.Runtime {
+			t.Fatalf("job %d ran %v, want %v", o.Job.ID, o.Finish.Sub(o.Start), o.Job.Runtime)
+		}
+	}
+}
+
+// TestBackfillShortestPrefersShortEstimates: with a hole the head
+// cannot use, SJBF must pick the shortest-estimated filler first.
+func TestBackfillShortestPrefersShortEstimates(t *testing.T) {
+	// Head occupies all cores; three 1-core candidates with distinct
+	// estimates arrive while it runs; one core frees mid-run.
+	jobs := []Job{
+		{ID: 0, Arrival: 0, Cores: 3, Runtime: sec(100), Estimate: sec(100)},
+		{ID: 1, Arrival: 0, Cores: 4, Runtime: sec(100), Estimate: sec(100)}, // blocked head
+		{ID: 2, Arrival: 0, Cores: 1, Runtime: sec(30), Estimate: sec(90)},
+		{ID: 3, Arrival: 0, Cores: 1, Runtime: sec(30), Estimate: sec(40)},
+	}
+	res, err := Schedule(jobs, 4, BackfillShortest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var start2, start3 vtime.Time
+	for _, o := range res.Jobs {
+		switch o.Job.ID {
+		case 2:
+			start2 = o.Start
+		case 3:
+			start3 = o.Start
+		}
+	}
+	if !(start3.Sub(vtime.Time(0)) < start2.Sub(vtime.Time(0))) {
+		t.Fatalf("SJBF ran the longer-estimated candidate first (job2 at %v, job3 at %v)",
+			start2, start3)
+	}
+}

@@ -36,6 +36,12 @@ type ExecResult struct {
 	PET vtime.Duration
 	// Phases lists per-phase measurements in execution order.
 	Phases []PhaseMeasurement
+	// LostPhases lists phases abandoned after an unrecovered injected
+	// crash (restart retry budget exhausted on some rank); their terms
+	// are missing from PET.
+	LostPhases []int
+	// Degraded flags a prediction computed from surviving phases only.
+	Degraded bool
 }
 
 // ErrISAMismatch is returned when a signature is executed on a machine
@@ -66,6 +72,40 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 	}
 	restartCost := s.Options.Checkpoint.RestartTime(s.Options.StateBytesPerRank)
 
+	// Crash plans are decided up front from the injector's pure hash
+	// (phase, rank): every rank sees the same plan without coordination,
+	// so the whole execution agrees on which restarts crash and which
+	// phases are abandoned before any virtual time passes.
+	inj := s.Options.Faults
+	var lost []bool               // [segment]: some rank's retries exhausted
+	var segFailures []int         // [segment]: coordinated failed attempts (max over ranks)
+	var segRetry []vtime.Duration // [segment]: priced retry cost, identical on every rank
+	if inj != nil && inj.Config().CrashRate > 0 {
+		lost = make([]bool, len(s.segments))
+		segFailures = make([]int, len(s.segments))
+		segRetry = make([]vtime.Duration, len(s.segments))
+		backoff := inj.Config().RestartBackoff
+		for i, seg := range s.segments {
+			for r := 0; r < s.App.Procs; r++ {
+				p := inj.Restart(seg.row.PhaseID, r)
+				if !p.Recovered {
+					lost[i] = true
+				}
+				// The restore is coordinated: one rank crashing fails the
+				// whole cluster's attempt, so the retry count — and the
+				// uniformly paid cost — is the worst rank's.
+				if p.Failures > segFailures[i] {
+					segFailures[i] = p.Failures
+				}
+			}
+			segRetry[i] = s.Options.Checkpoint.RestartRetryCost(
+				s.Options.StateBytesPerRank, segFailures[i], backoff)
+			if lost[i] {
+				inj.NotePhaseLost(seg.row.PhaseID)
+			}
+		}
+	}
+
 	// Shared measurement state: the engine serialises all goroutines,
 	// and each slot is written by exactly one rank.
 	meas := make([][]cell, len(s.segments))
@@ -79,13 +119,20 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 		NICContention:          s.Options.NICContention,
 		AlgorithmicCollectives: s.Options.AlgorithmicCollectives,
 		Observer:               s.Options.Observer,
+		Faults:                 inj,
 		TimelineLabel:          fmt.Sprintf("sig:%s (%d ranks)", s.App.Name, s.App.Procs),
 		NewInterceptor: func(rank int) mpi.Interceptor {
-			return &executorInterceptor{
+			x := &executorInterceptor{
 				rank: rank, segs: s.segments, restart: restartCost,
 				cold:   s.Options.ColdFactor,
 				record: func(seg int, c cell) { meas[seg][rank] = c },
 			}
+			if lost != nil {
+				x.lost = lost
+				x.failures = segFailures
+				x.retry = segRetry
+			}
+			return x
 		},
 	})
 	if err != nil {
@@ -96,6 +143,12 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 
 	out := &ExecResult{SET: res.Elapsed}
 	for i, seg := range s.segments {
+		if lost != nil && lost[i] {
+			// Graceful degradation: the phase's term is dropped from
+			// Eq. (1) and reported instead of failing the execution.
+			out.LostPhases = append(out.LostPhases, seg.row.PhaseID)
+			continue
+		}
 		var lastStart, lastEnd, lastEnd2 vtime.Time
 		var restart, warm vtime.Duration
 		var spanSum vtime.Duration
@@ -164,8 +217,13 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 		out.Phases = append(out.Phases, m)
 		out.PET += m.Contribution()
 	}
+	out.Degraded = len(out.LostPhases) > 0
 	sp.SetCounter("phases_measured", int64(len(out.Phases)))
+	if out.Degraded {
+		sp.SetCounter("phases_lost", int64(len(out.LostPhases)))
+	}
 	sp.End()
+	inj.Publish(s.Options.Observer.Reg())
 	return out, nil
 }
 
@@ -177,6 +235,16 @@ type executorInterceptor struct {
 	restart vtime.Duration
 	cold    float64
 	record  func(seg int, c cell)
+
+	// Injected crash plan, indexed by segment and shared by all ranks
+	// (nil without crash faults): lost marks segments abandoned
+	// cluster-wide, failures and retry carry the coordinated crashed
+	// attempt count and the priced retry cost (failed restores plus
+	// exponential backoff), identical on every rank so recovery shifts
+	// all clocks uniformly and never skews the measurement.
+	lost     []bool
+	failures []int
+	retry    []vtime.Duration
 
 	seg   int
 	state execState
@@ -209,6 +277,20 @@ func (x *executorInterceptor) Init(c *mpi.Comm) {
 	x.at(c, 0)
 }
 
+func (x *executorInterceptor) retryAt() vtime.Duration {
+	if x.retry == nil {
+		return 0
+	}
+	return x.retry[x.seg]
+}
+
+func (x *executorInterceptor) failuresAt() int {
+	if x.failures == nil {
+		return 0
+	}
+	return x.failures[x.seg]
+}
+
 func (x *executorInterceptor) Before(c *mpi.Comm, kind trace.Kind, idx int64) {}
 
 func (x *executorInterceptor) After(c *mpi.Comm, kind trace.Kind, idx int64) {
@@ -223,15 +305,35 @@ func (x *executorInterceptor) at(c *mpi.Comm, pos int64) {
 			if pos != seg.ckpt[x.rank] {
 				return
 			}
+			if x.lost != nil && x.lost[x.seg] {
+				// Some rank exhausted its restart retries: the phase is
+				// abandoned cluster-wide. Pay this rank's attempted
+				// restores, then fast-forward through the segment with
+				// no measurement.
+				c.SetMode(1, false)
+				if c.TimelineOn() {
+					c.Annotate(fmt.Sprintf("phase %d abandoned (%d crashed restarts)",
+						seg.row.PhaseID, x.failures[x.seg]))
+				}
+				c.Elapse(x.restart + x.retry[x.seg])
+				c.SetMode(0, true)
+				x.seg++
+				continue
+			}
 			// Restart the checkpoint: pay the restore cost at full
-			// price (leave free mode first), then run the warm-up
-			// region with a cold machine.
-			x.cur = cell{restart: x.restart}
+			// price (leave free mode first) — plus any injected crash
+			// retries — then run the warm-up region with a cold machine.
+			x.cur = cell{restart: x.restart + x.retryAt()}
 			c.SetMode(1, false)
 			if c.TimelineOn() {
-				c.Annotate(fmt.Sprintf("restart ckpt (phase %d)", seg.row.PhaseID))
+				if f := x.failuresAt(); f > 0 {
+					c.Annotate(fmt.Sprintf("restart ckpt (phase %d, %d crashed attempts)",
+						seg.row.PhaseID, f))
+				} else {
+					c.Annotate(fmt.Sprintf("restart ckpt (phase %d)", seg.row.PhaseID))
+				}
 			}
-			c.Elapse(x.restart)
+			c.Elapse(x.cur.restart)
 			warmStart := c.Now()
 			x.cur.warm = -vtime.Duration(warmStart) // finalised below
 			x.state = stWarmup

@@ -1,0 +1,167 @@
+package signature
+
+import (
+	"reflect"
+	"testing"
+
+	"pas2p/internal/faults"
+	"pas2p/internal/machine"
+)
+
+func buildIterSig(t *testing.T, opts Options) (*Signature, *machine.Deployment) {
+	t.Helper()
+	app := iterApp(8, 40)
+	base := deployOn(t, machine.ClusterA(), 8)
+	tb, _ := analyze(t, app, base)
+	br, err := Build(app, tb, base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return br.Signature, base
+}
+
+func injector(t *testing.T, cfg faults.Config) *faults.Injector {
+	t.Helper()
+	inj, err := faults.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj
+}
+
+// TestWarmupPlacementBeforePhaseStart: every snapshot restores each
+// rank at or before the phase's start boundary, so the executor's free
+// warm-up region precedes measurement (§3.4's requirement that the
+// machine is warm when the phase clock starts).
+func TestWarmupPlacementBeforePhaseStart(t *testing.T) {
+	sig, _ := buildIterSig(t, lightOptions())
+	if len(sig.Catalog.Snapshots) == 0 {
+		t.Fatal("signature has no checkpoints")
+	}
+	starts := map[int][]int64{}
+	for _, r := range sig.Table.Rows {
+		starts[r.PhaseID] = r.StartEvents
+	}
+	for _, s := range sig.Catalog.Snapshots {
+		se, ok := starts[s.PhaseID]
+		if !ok {
+			t.Fatalf("snapshot for phase %d has no table row", s.PhaseID)
+		}
+		for p, pos := range s.Position {
+			if pos > se[p] {
+				t.Fatalf("phase %d rank %d: checkpoint at event %d is past the phase start %d — no warm-up region",
+					s.PhaseID, p, pos, se[p])
+			}
+		}
+	}
+}
+
+// TestExecuteRestartIdempotent: executing the same signature twice —
+// with and without a crash schedule — must give identical results; the
+// executor may not accumulate state across runs, or a re-executed
+// (restarted) signature would drift.
+func TestExecuteRestartIdempotent(t *testing.T) {
+	opts := lightOptions()
+	sig, base := buildIterSig(t, opts)
+
+	r1, err := sig.Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sig.Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatal("fault-free execution not idempotent")
+	}
+
+	// Crash-laden executions: a fresh injector per run (as a restarted
+	// executor would build from its recorded seed) reproduces the run.
+	cfg := faults.Config{Seed: 17, CrashRate: 0.6, MaxRestartAttempts: 10}
+	sig.Options.Faults = injector(t, cfg)
+	f1, err := sig.Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig.Options.Faults = injector(t, cfg)
+	f2, err := sig.Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f1, f2) {
+		t.Fatal("crash-schedule execution not reproducible from the seed")
+	}
+
+	// And the injector must not have leaked into later fault-free runs.
+	sig.Options.Faults = nil
+	r3, err := sig.Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r3) {
+		t.Fatal("faulted execution leaked state into a fault-free re-execution")
+	}
+}
+
+// TestRecoveredCrashesInflateSETNotPET: restart retries are paid in the
+// free region before measurement, so SET grows but the prediction is
+// untouched.
+func TestRecoveredCrashesInflateSETNotPET(t *testing.T) {
+	opts := lightOptions()
+	sig, base := buildIterSig(t, opts)
+	clean, err := sig.Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig.Options.Faults = injector(t, faults.Config{Seed: 5, CrashRate: 0.7, MaxRestartAttempts: 12})
+	faulted, err := sig.Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sig.Options.Faults.Report()
+	if rep.CrashFailures == 0 {
+		t.Skip("schedule rolled no failures; nothing to price")
+	}
+	if rep.Unrecovered != 0 {
+		t.Fatalf("12-attempt budget exhausted: %+v", rep)
+	}
+	if faulted.Degraded || len(faulted.LostPhases) != 0 {
+		t.Fatalf("recovered schedule degraded the result: %+v", faulted.LostPhases)
+	}
+	if faulted.PET != clean.PET {
+		t.Fatalf("recovered crashes changed PET: %v vs %v", faulted.PET, clean.PET)
+	}
+	if faulted.SET <= clean.SET {
+		t.Fatalf("restart retries are free: SET %v <= clean %v", faulted.SET, clean.SET)
+	}
+}
+
+// TestUnrecoveredCrashDegrades: with a certain crash and no retry
+// budget every phase is lost, flagged, and excluded from Eq. 1.
+func TestUnrecoveredCrashDegrades(t *testing.T) {
+	opts := lightOptions()
+	sig, base := buildIterSig(t, opts)
+	sig.Options.Faults = injector(t, faults.Config{Seed: 2, CrashRate: 1, MaxRestartAttempts: 0})
+	res, err := sig.Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("certain unrecovered crashes must degrade the result")
+	}
+	if len(res.LostPhases) != len(sig.Table.RelevantRows()) {
+		t.Fatalf("lost %d phases, want all %d relevant",
+			len(res.LostPhases), len(sig.Table.RelevantRows()))
+	}
+	if res.PET != 0 {
+		t.Fatalf("every phase lost, yet PET = %v", res.PET)
+	}
+	if len(res.Phases) != 0 {
+		t.Fatalf("abandoned phases still measured: %d", len(res.Phases))
+	}
+	rep := sig.Options.Faults.Report()
+	if rep.PhasesLost != int64(len(res.LostPhases)) {
+		t.Fatalf("report says %d phases lost, result lists %d", rep.PhasesLost, len(res.LostPhases))
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 
 	"pas2p/internal/checkpoint"
+	"pas2p/internal/faults"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
 	"pas2p/internal/obs"
@@ -59,6 +60,14 @@ type Options struct {
 	// Options comparable; the json tag keeps persisted signatures free
 	// of runtime state.
 	Observer *obs.Observer `json:"-"`
+	// Faults, when non-nil, injects deterministic faults into signature
+	// execution: message loss/duplication/delay inside each measured
+	// phase and rank crashes at checkpoint restarts (bounded retries
+	// with exponential backoff; an exhausted retry budget abandons the
+	// phase and Execute degrades to the surviving ones). Like Observer,
+	// a pointer keeps Options comparable and the json tag keeps
+	// persisted signatures free of runtime state.
+	Faults *faults.Injector `json:"-"`
 }
 
 // ETEstimator selects the phase-time estimator. The ablation
@@ -191,6 +200,7 @@ func Build(app mpi.App, tb *phase.Table, base *machine.Deployment, opts Options)
 		// Metrics only: the construction run's per-event tracks would
 		// bloat the timeline without aiding prediction analysis.
 		Observer: opts.Observer.MetricsOnly(),
+		Faults:   opts.Faults,
 		NewInterceptor: func(rank int) mpi.Interceptor {
 			return newBuilderInterceptor(rank, segs, snapCost)
 		},

@@ -3,7 +3,9 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strings"
 
+	"pas2p/internal/faults"
 	"pas2p/internal/network"
 	"pas2p/internal/vtime"
 )
@@ -89,6 +91,12 @@ func (e *Engine) handle(ps *procState, req request) (result, bool) {
 		if ps.mode.ComputeScale != 1 {
 			d = vtime.Duration(math.Round(float64(d) * ps.mode.ComputeScale))
 		}
+		if e.cfg.Faults != nil && d > 0 {
+			if fac := e.cfg.Faults.Jitter(ps.rank, ps.advSeq); fac != 1 {
+				d = vtime.Duration(math.Round(float64(d) * fac))
+			}
+			ps.advSeq++
+		}
 		start := ps.clock
 		ps.clock = ps.clock.Add(d)
 		e.slice(ps.rank, "compute", "compute", start, ps.clock)
@@ -154,6 +162,20 @@ func (e *Engine) handleSend(ps *procState, req request) (result, bool) {
 		e.msgBytes.Observe(float64(req.size))
 	}
 
+	// Decide injected faults before timing is resolved: lost
+	// transmissions (each paying one RTO before retransmission),
+	// duplicates (discarded on match, so only counted), and delay
+	// faults all fold into one extra arrival latency. Free-mode sends
+	// model signature skip regions and stay untouched.
+	if e.cfg.Faults != nil && !m.senderFree {
+		if f, ok := e.cfg.Faults.Message(m.src, m.dst, m.uid, m.size); ok {
+			m.faultDelay = f.Delay
+			if e.tl != nil {
+				e.instant(ps.rank, faultLabel(f), ps.clock)
+			}
+		}
+	}
+
 	info := PtPInfo{Start: ps.clock, Src: ps.rank, Dst: req.peer,
 		Tag: req.tag, Size: req.size, SendSeq: m.uid, IsSend: true}
 
@@ -166,7 +188,7 @@ func (e *Engine) handleSend(ps *procState, req request) (result, bool) {
 		start := e.nicClaimTx(ps.rank, req.peer, ps.clock, req.size)
 		r := path.Eager(start, req.size)
 		m.senderDone = r.SenderDone
-		m.arrival = e.nicClaimRx(ps.rank, req.peer, r.Arrival, req.size)
+		m.arrival = e.nicClaimRx(ps.rank, req.peer, r.Arrival, req.size).Add(m.faultDelay)
 		m.timingKnown = true
 	default:
 		m.rdv = true
@@ -419,7 +441,24 @@ func (e *Engine) hypotheticalArrival(m *message, pr *postedRecv) vtime.Time {
 		return m.arrival
 	}
 	path := e.cfg.Deployment.Path(m.src, m.dst)
-	return path.Rendezvous(m.sendPost, pr.post, m.size).Arrival
+	return path.Rendezvous(m.sendPost, pr.post, m.size).Arrival.Add(m.faultDelay)
+}
+
+// faultLabel renders the timeline instant for an injected message
+// fault; only called when a timeline is attached.
+func faultLabel(f faults.MsgFault) string {
+	var b strings.Builder
+	b.WriteString("fault:")
+	if f.Retransmits > 0 {
+		fmt.Fprintf(&b, " loss x%d", f.Retransmits)
+	}
+	if f.Duplicated {
+		b.WriteString(" dup")
+	}
+	if f.Delay > 0 {
+		fmt.Fprintf(&b, " +%v", f.Delay)
+	}
+	return b.String()
 }
 
 // resolveAny attempts to finalise a wildcard receive. With force set
@@ -527,8 +566,10 @@ func (e *Engine) bind(pr *postedRecv, m *message) {
 		path := e.cfg.Deployment.Path(m.src, m.dst)
 		start := e.nicClaimTx(m.src, m.dst, m.sendPost, m.size)
 		r := path.Rendezvous(start, pr.post, m.size)
-		m.senderDone = r.SenderDone
-		m.arrival = e.nicClaimRx(m.src, m.dst, r.Arrival, m.size)
+		// A rendezvous sender synchronises with the receive, so the
+		// injected latency holds both sides back.
+		m.senderDone = r.SenderDone.Add(m.faultDelay)
+		m.arrival = e.nicClaimRx(m.src, m.dst, r.Arrival, m.size).Add(m.faultDelay)
 		m.timingKnown = true
 	}
 

@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 
+	"pas2p/internal/faults"
 	"pas2p/internal/machine"
 	"pas2p/internal/obs"
 	"pas2p/internal/vtime"
@@ -59,6 +60,13 @@ type Config struct {
 	// timeline — one track per rank with compute/send/recv/collective
 	// slices over virtual time. Nil skips all instrumentation.
 	Observer *obs.Observer
+	// Faults, when non-nil, injects deterministic message faults (loss
+	// with virtual-clock retransmission, duplication, delay) and
+	// compute-clock jitter into the run. Decisions are pure functions of
+	// the injector's seed and each event's identity, so the simulator's
+	// bit-identical-timing guarantee holds for faulted runs too. Nil
+	// keeps the exact fault-free fast path.
+	Faults *faults.Injector
 	// TimelinePID reuses an already-allocated timeline process for the
 	// rank tracks instead of allocating a fresh one; callers that need
 	// to add events to the same tracks after the run (e.g. phase
@@ -121,6 +129,7 @@ type procState struct {
 
 	blockedOn string
 	sendIndex int64 // per-sender message counter (message uids)
+	advSeq    int64 // per-rank compute-block counter (jitter keys)
 }
 
 // Mode adjusts how a rank's operations are costed; the signature
@@ -148,6 +157,9 @@ type message struct {
 	timingKnown         bool
 	matched             bool
 	senderFree          bool
+	// faultDelay is the injected extra latency (retransmissions plus
+	// delay faults) added to this message's arrival.
+	faultDelay vtime.Duration
 	// senderReq, when non-nil, is a rendezvous send request whose
 	// completion is pending on the match.
 	senderReq *reqState

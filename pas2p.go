@@ -32,6 +32,7 @@ import (
 
 	"pas2p/internal/apps"
 	"pas2p/internal/checkpoint"
+	"pas2p/internal/faults"
 	"pas2p/internal/logical"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
@@ -303,6 +304,34 @@ func NewObserver() *Observer { return obs.New() }
 // NewObserverWithTimeline returns an observer that also records a
 // trace-event timeline.
 func NewObserverWithTimeline() *Observer { return obs.NewWithTimeline() }
+
+// Fault injection. A FaultInjector threads through the pipeline like
+// an Observer (RunConfig.Faults, SignatureOptions.Faults,
+// Experiment.Faults); nil — the default everywhere — keeps every stage
+// on its bit-identical fault-free path. All fault decisions are pure
+// functions of the seed and each event's identity, so a fixed seed
+// reproduces the identical fault schedule, recovery trace, and
+// prediction.
+type (
+	// FaultConfig selects fault classes (message loss/duplication/
+	// delay, restart crashes, clock jitter/skew) and intensities.
+	FaultConfig = faults.Config
+	// FaultInjector makes the deterministic fault decisions and counts
+	// injected/recovered faults.
+	FaultInjector = faults.Injector
+	// FaultReport is a snapshot of the injector's fault accounting.
+	FaultReport = faults.Report
+)
+
+// NewFaultInjector builds an injector; operational knobs left zero
+// (RTO, retry bounds, backoff) get defaults.
+func NewFaultInjector(cfg FaultConfig) (*FaultInjector, error) { return faults.New(cfg) }
+
+// ParseFaultSpec builds an injector from the CLI fault grammar, e.g.
+// "loss=0.05,dup=0.01,crash=0.2,jitter=0.01,skew=5ms".
+func ParseFaultSpec(seed int64, spec string) (*FaultInjector, error) {
+	return faults.ParseSpec(seed, spec)
+}
 
 // Workload-effect extension ([2]): fit per-phase scaling laws over
 // analyses at several workload sizes and extrapolate unseen sizes.
