@@ -10,10 +10,11 @@ test:
 
 # The phase and logical stages carry the concurrency (parallel fill,
 # candidate scoring, AnalyzeAll), obs is written to by every simulated
-# rank, and faults counters are bumped from rank goroutines; run them
-# under the race detector.
+# rank, faults counters are bumped from rank goroutines, and sigrepo
+# serializes concurrent writers on a lock file; run them under the
+# race detector.
 race:
-	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/...
+	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/...
 
 # Seed-vs-indexed extraction comparison over the registered workloads;
 # medians over -count 3 are what README quotes.
@@ -28,9 +29,10 @@ cover:
 # Native fuzz smoke: one -fuzz target per invocation.
 fuzz:
 	$(GO) test -fuzz=FuzzCompressRoundTrip -fuzztime=10s ./internal/trace
+	$(GO) test -fuzz=FuzzDecodeTracefile -fuzztime=10s ./internal/trace
 	$(GO) test -fuzz=FuzzLogicalOrder -fuzztime=10s ./internal/logical
 
 check: build
 	$(GO) vet ./...
 	$(GO) test -shuffle=on ./...
-	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/...
+	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/...

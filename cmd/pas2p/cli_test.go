@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"errors"
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -40,6 +42,8 @@ func TestRejectBadArgs(t *testing.T) {
 		{"sign/unknown-flag", cmdSign, []string{"-x"}, "not defined"},
 		{"execsig/unknown-flag", cmdExecSig, []string{"-wat"}, "not defined"},
 		{"repo/trailing", cmdRepo, []string{"list", "extra"}, "unexpected argument"},
+		{"repo/unknown-sub", cmdRepo, []string{"frobnicate"}, "unknown subcommand"},
+		{"repo/fsck-trailing", cmdRepo, []string{"fsck", "extra"}, "unexpected argument"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -59,6 +63,52 @@ func TestRejectBadArgs(t *testing.T) {
 				t.Fatalf("%v: parse failure must not be ErrHelp", tc.args)
 			}
 		})
+	}
+}
+
+// TestRepoCLIAddVerifyFsck drives the repository subcommands end to
+// end: add -verify stores and re-checks an entry, a corrupted file is
+// survived by list and repaired by fsck, and predict serves the
+// surviving entry afterwards.
+func TestRepoCLIAddVerifyFsck(t *testing.T) {
+	dir := t.TempDir()
+	if err := cmdRepo([]string{"add", "-dir", dir, "-app", "cg", "-procs", "8", "-workload", "classA", "-verify"}); err != nil {
+		t.Fatalf("repo add -verify: %v", err)
+	}
+	if err := cmdRepo([]string{"add", "-dir", dir, "-app", "ep", "-procs", "8", "-workload", "classA", "-verify"}); err != nil {
+		t.Fatalf("repo add -verify: %v", err)
+	}
+
+	// Corrupt one stored entry behind the CLI's back.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim string
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "ep_") && strings.HasSuffix(e.Name(), ".sig.json") {
+			victim = filepath.Join(dir, e.Name())
+		}
+	}
+	if victim == "" {
+		t.Fatal("stored ep entry not found")
+	}
+	if err := os.WriteFile(victim, []byte(`{"formatVersion":2,"payloadSHA256":"00","payload":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// list must survive the corruption, fsck must repair it.
+	if err := cmdRepo([]string{"list", "-dir", dir}); err != nil {
+		t.Fatalf("repo list over corrupt entry: %v", err)
+	}
+	if err := cmdRepo([]string{"fsck", "-dir", dir}); err != nil {
+		t.Fatalf("repo fsck: %v", err)
+	}
+	if _, err := os.Stat(victim); !os.IsNotExist(err) {
+		t.Error("fsck left the corrupt entry in place")
+	}
+	if err := cmdRepo([]string{"predict", "-dir", dir, "-app", "cg", "-procs", "8", "-workload", "classA", "-target", "B"}); err != nil {
+		t.Fatalf("repo predict after fsck: %v", err)
 	}
 }
 

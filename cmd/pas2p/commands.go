@@ -3,11 +3,13 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"pas2p/internal/apps"
 	"pas2p/internal/faults"
+	"pas2p/internal/fsx"
 	"pas2p/internal/logical"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
@@ -115,19 +117,16 @@ func cmdTrace(args []string) error {
 	if path == "" {
 		path = *app + ".pas2p"
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	switch {
-	case *asJSON:
-		err = trace.EncodeJSON(f, res.Trace)
-	case *compress:
-		err = trace.Compress(f, res.Trace)
-	default:
-		err = trace.Encode(f, res.Trace)
-	}
+	err = fsx.WriteFileAtomic(fsx.OS{}, path, func(w io.Writer) error {
+		switch {
+		case *asJSON:
+			return trace.EncodeJSON(w, res.Trace)
+		case *compress:
+			return trace.Compress(w, res.Trace)
+		default:
+			return trace.Encode(w, res.Trace)
+		}
+	})
 	if err != nil {
 		return err
 	}

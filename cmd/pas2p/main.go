@@ -112,8 +112,11 @@ commands:
   execsig  -sig SIG.json [-target T] [-cores K]
                                 stage B only: carry a persisted signature to
                                 a target machine and predict there
-  repo     add|list|predict -dir D ...
+  repo     add|list|predict|fsck -dir D ...
                                 manage a site-wide signature repository (the
-                                scheduler metadata store of the paper's §1)
+                                scheduler metadata store of the paper's §1);
+                                add -verify re-reads the entry after writing,
+                                fsck quarantines corrupt entries and rebuilds
+                                the manifest
 `)
 }

@@ -14,12 +14,13 @@ import (
 // cmdRepo manages a site-wide signature repository: the "performance
 // metadata" store §1 of the paper proposes for schedulers.
 //
-//	pas2p repo -dir D add  -app A -procs N [-workload W] [-base B]
+//	pas2p repo -dir D add  -app A -procs N [-workload W] [-base B] [-verify]
 //	pas2p repo -dir D list
 //	pas2p repo -dir D predict -app A -procs N [-workload W] -target T [-cores K]
+//	pas2p repo -dir D fsck
 func cmdRepo(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("repo: need a subcommand (add, list, predict)")
+		return fmt.Errorf("repo: need a subcommand (add, list, predict, fsck)")
 	}
 	// The -dir flag may come before or after the subcommand; accept
 	// the common form `repo <sub> -dir ...`.
@@ -33,6 +34,7 @@ func cmdRepo(args []string) error {
 	base := fs.String("base", "A", "base cluster (for add)")
 	target := fs.String("target", "B", "target cluster (for predict)")
 	cores := fs.Int("cores", 0, "restrict the target to this many cores")
+	verify := fs.Bool("verify", false, "after add, re-read the entry and verify its checksums")
 	if err := parseArgs(fs, rest); err != nil {
 		return err
 	}
@@ -84,25 +86,47 @@ func cmdRepo(args []string) error {
 		}
 		fmt.Printf("added %s (%d relevant phases, SCT %.2fs) -> %s\n",
 			*app, len(tb.RelevantRows()), br.SCT.Seconds(), path)
+		if *verify {
+			if _, err := repo.Lookup(*app, *procs, wl); err != nil {
+				return fmt.Errorf("repo add -verify: %w", err)
+			}
+			fmt.Println("verified: entry re-read and checksums hold")
+		}
 		return nil
 
 	case "list":
-		entries, err := repo.List()
+		entries, problems, err := repo.List()
 		if err != nil {
 			return err
 		}
-		if len(entries) == 0 {
+		if len(entries) == 0 && len(problems) == 0 {
 			fmt.Println("repository is empty")
 			return nil
 		}
-		fmt.Printf("%-14s %-7s %-24s %-12s %-8s %s\n",
-			"APP", "PROCS", "WORKLOAD", "BUILT ON", "ISA", "PHASES")
-		for _, e := range entries {
-			fmt.Printf("%-14s %-7d %-24s %-12s %-8s %d/%d relevant\n",
-				e.Saved.AppName, e.Saved.Procs, e.Saved.Workload,
-				e.Saved.BaseCluster, e.Saved.BaseISA,
-				len(e.Saved.Table.RelevantRows()), e.Saved.Table.TotalPhases)
+		if len(entries) > 0 {
+			fmt.Printf("%-14s %-7s %-24s %-12s %-8s %s\n",
+				"APP", "PROCS", "WORKLOAD", "BUILT ON", "ISA", "PHASES")
+			for _, e := range entries {
+				fmt.Printf("%-14s %-7d %-24s %-12s %-8s %d/%d relevant\n",
+					e.Saved.AppName, e.Saved.Procs, e.Saved.Workload,
+					e.Saved.BaseCluster, e.Saved.BaseISA,
+					len(e.Saved.Table.RelevantRows()), e.Saved.Table.TotalPhases)
+			}
 		}
+		for _, p := range problems {
+			fmt.Printf("problem: %s\n", p)
+		}
+		if len(problems) > 0 {
+			fmt.Println("run `pas2p repo fsck` to quarantine corrupt entries and rebuild the manifest")
+		}
+		return nil
+
+	case "fsck":
+		rep, err := repo.Fsck()
+		if err != nil {
+			return err
+		}
+		fmt.Println(rep)
 		return nil
 
 	case "predict":
@@ -132,6 +156,6 @@ func cmdRepo(args []string) error {
 		return nil
 
 	default:
-		return fmt.Errorf("repo: unknown subcommand %q (add, list, predict)", sub)
+		return fmt.Errorf("repo: unknown subcommand %q (add, list, predict, fsck)", sub)
 	}
 }

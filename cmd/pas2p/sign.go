@@ -2,9 +2,11 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"pas2p/internal/apps"
+	"pas2p/internal/fsx"
 	"pas2p/internal/logical"
 	"pas2p/internal/mpi"
 	"pas2p/internal/phase"
@@ -63,12 +65,10 @@ func cmdSign(args []string) error {
 	if path == "" {
 		path = *app + ".sig.json"
 	}
-	f, err := os.Create(path)
+	err = fsx.WriteFileAtomic(fsx.OS{}, path, func(w io.Writer) error {
+		return br.Signature.Save(w, *workload, bd.Cluster.Name)
+	})
 	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := br.Signature.Save(f, *workload, bd.Cluster.Name); err != nil {
 		return err
 	}
 	fmt.Printf("analysed %s on %s: %d phases, %d relevant\n",

@@ -1,0 +1,292 @@
+package faults
+
+// Storage faults: a deterministic fault-injecting implementation of
+// the fsx.FS write seam. It extends the injector's philosophy below
+// the codec layer — every corruption decision is a pure splitmix64
+// hash of (seed, fault stream, file identity, per-file write
+// sequence), so a seeded schedule of torn writes, tail truncations
+// and bit-flips is exactly reproducible and independent of call
+// order across files.
+//
+// The wrapped file buffers its content and applies the scheduled
+// corruption at Close, which models what a crashed or bit-rotting
+// disk leaves behind *after* the writer believed the write succeeded.
+// The FaultFS remembers which final paths carry corrupted bytes
+// (markers follow renames), so property tests can assert detection is
+// complete: every path in CorruptedPaths must be caught by the
+// checksum layer, with no false negatives.
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	iofs "io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"pas2p/internal/fsx"
+)
+
+// FSConfig selects the storage-fault classes and their intensities.
+// The zero value injects nothing.
+type FSConfig struct {
+	// Seed drives every corruption decision.
+	Seed int64
+	// TornRate is the probability a written file is torn: only a
+	// seeded prefix of its bytes lands on disk (a crash mid-write
+	// under a non-atomic protocol, or a torn sector under an atomic
+	// one).
+	TornRate float64
+	// TruncRate is the probability a written file loses a seeded
+	// 1..16-byte tail (classic lost-final-sector truncation).
+	TruncRate float64
+	// FlipRate is the probability one seeded bit of the written file
+	// is flipped (bit-rot).
+	FlipRate float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c FSConfig) Validate() error {
+	rates := []struct {
+		name string
+		v    float64
+	}{{"torn", c.TornRate}, {"trunc", c.TruncRate}, {"flip", c.FlipRate}}
+	for _, r := range rates {
+		if r.v < 0 || r.v > 1 {
+			return fmt.Errorf("faults: %s rate %v outside [0,1]", r.name, r.v)
+		}
+	}
+	return nil
+}
+
+// Decision streams for storage faults, disjoint from the injector's.
+const (
+	streamTorn uint64 = 0x0e6c63d0a53a1139 * (iota + 1)
+	streamTornAt
+	streamTrunc
+	streamTruncAt
+	streamFlip
+	streamFlipAt
+)
+
+// FaultFS wraps an fsx.FS and corrupts a deterministic subset of the
+// files written through it. Reads, directory operations and renames
+// pass through untouched (renames carry the corruption marker with
+// the file). Safe for concurrent use.
+type FaultFS struct {
+	inner fsx.FS
+	cfg   FSConfig
+	seed  uint64
+
+	mu      sync.Mutex
+	seq     map[string]uint64 // per-basename write counter
+	corrupt map[string]string // path → corruption kinds applied
+	torn    int64
+	trunc   int64
+	flipped int64
+}
+
+// NewFaultFS builds the fault-injecting filesystem around inner.
+func NewFaultFS(inner fsx.FS, cfg FSConfig) (*FaultFS, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &FaultFS{
+		inner:   inner,
+		cfg:     cfg,
+		seed:    splitmix64(uint64(cfg.Seed) ^ 0xc001d00dfee1dead),
+		seq:     make(map[string]uint64),
+		corrupt: make(map[string]string),
+	}, nil
+}
+
+func (f *FaultFS) MkdirAll(dir string, perm iofs.FileMode) error { return f.inner.MkdirAll(dir, perm) }
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+func (f *FaultFS) ReadDir(dir string) ([]iofs.DirEntry, error) { return f.inner.ReadDir(dir) }
+
+func (f *FaultFS) Stat(name string) (iofs.FileInfo, error) { return f.inner.Stat(name) }
+
+func (f *FaultFS) SyncDir(dir string) error { return f.inner.SyncDir(dir) }
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.inner.Rename(oldpath, newpath); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if kinds, ok := f.corrupt[oldpath]; ok {
+		delete(f.corrupt, oldpath)
+		f.corrupt[newpath] = kinds
+	} else {
+		// Renaming clean content over a corrupted path heals it.
+		delete(f.corrupt, newpath)
+	}
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.inner.Remove(name); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	delete(f.corrupt, name)
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *FaultFS) Create(name string) (fsx.File, error) {
+	inner, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(name, inner), nil
+}
+
+func (f *FaultFS) CreateExclusive(name string) (fsx.File, error) {
+	inner, err := f.inner.CreateExclusive(name)
+	if err != nil {
+		return nil, err
+	}
+	return f.wrap(name, inner), nil
+}
+
+func (f *FaultFS) wrap(name string, inner fsx.File) fsx.File {
+	// Key decisions by the file's base name, not the full path: test
+	// temp directories vary run to run, and the repo's temp files are
+	// named after their final destination, so the schedule stays
+	// stable and meaningful.
+	base := filepath.Base(name)
+	h := fnv.New64a()
+	h.Write([]byte(base))
+	f.mu.Lock()
+	seq := f.seq[base]
+	f.seq[base] = seq + 1
+	f.mu.Unlock()
+	return &faultFile{fs: f, name: name, key: h.Sum64(), seq: seq, inner: inner}
+}
+
+// CorruptedPaths returns the sorted paths whose on-disk bytes were
+// corrupted and not since removed or overwritten: the ground truth a
+// detection property test checks fsck against.
+func (f *FaultFS) CorruptedPaths() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.corrupt))
+	for p := range f.corrupt {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FSReport is a snapshot of the storage-fault accounting.
+type FSReport struct {
+	Seed                           int64
+	TornWrites, Truncations, Flips int64
+}
+
+// FSReport snapshots the corruption counters.
+func (f *FaultFS) FSReport() FSReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return FSReport{Seed: f.cfg.Seed, TornWrites: f.torn, Truncations: f.trunc, Flips: f.flipped}
+}
+
+// faultFile buffers writes and applies the scheduled corruption when
+// the writer closes the file.
+type faultFile struct {
+	fs    *FaultFS
+	name  string
+	key   uint64
+	seq   uint64
+	inner fsx.File
+	buf   bytes.Buffer
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) { return ff.buf.Write(p) }
+
+// Sync is deferred to Close: the corrupted content is what must reach
+// stable storage, and Close both writes and syncs it.
+func (ff *faultFile) Sync() error { return nil }
+
+func (ff *faultFile) Close() error {
+	data, kinds := ff.fs.corruptBytes(ff.key, ff.seq, ff.buf.Bytes())
+	if _, err := ff.inner.Write(data); err != nil {
+		ff.inner.Close()
+		return err
+	}
+	if err := ff.inner.Sync(); err != nil {
+		ff.inner.Close()
+		return err
+	}
+	if err := ff.inner.Close(); err != nil {
+		return err
+	}
+	ff.fs.mu.Lock()
+	if kinds != "" {
+		ff.fs.corrupt[ff.name] = kinds
+	} else {
+		// A clean rewrite of a previously corrupted path heals it.
+		delete(ff.fs.corrupt, ff.name)
+	}
+	ff.fs.mu.Unlock()
+	return nil
+}
+
+// roll returns a uniform float64 in [0,1) for one decision stream of
+// one (file, sequence) identity.
+func (f *FaultFS) roll(stream, key, seq uint64) float64 {
+	z := splitmix64(f.seed ^ stream)
+	z = splitmix64(z ^ key)
+	z = splitmix64(z ^ seq)
+	return float64(z>>11) / (1 << 53)
+}
+
+// corruptBytes applies the scheduled corruption for one write. The
+// input is not modified; the returned slice is the (possibly shorter,
+// possibly copied) content to persist.
+func (f *FaultFS) corruptBytes(key, seq uint64, data []byte) ([]byte, string) {
+	c := f.cfg
+	var kinds []string
+	if c.TornRate > 0 && len(data) >= 2 && f.roll(streamTorn, key, seq) < c.TornRate {
+		keep := 1 + int(f.roll(streamTornAt, key, seq)*float64(len(data)-1))
+		data = data[:keep]
+		kinds = append(kinds, "torn")
+	}
+	if c.TruncRate > 0 && len(data) >= 1 && f.roll(streamTrunc, key, seq) < c.TruncRate {
+		window := len(data)
+		if window > 16 {
+			window = 16
+		}
+		drop := 1 + int(f.roll(streamTruncAt, key, seq)*float64(window-1))
+		if drop > len(data) {
+			drop = len(data)
+		}
+		data = data[:len(data)-drop]
+		kinds = append(kinds, "truncated")
+	}
+	if c.FlipRate > 0 && len(data) >= 1 && f.roll(streamFlip, key, seq) < c.FlipRate {
+		bit := int(f.roll(streamFlipAt, key, seq) * float64(len(data)*8))
+		cp := append([]byte(nil), data...)
+		cp[bit/8] ^= 1 << (bit % 8)
+		data = cp
+		kinds = append(kinds, "bitflip")
+	}
+	f.mu.Lock()
+	for _, k := range kinds {
+		switch k {
+		case "torn":
+			f.torn++
+		case "truncated":
+			f.trunc++
+		case "bitflip":
+			f.flipped++
+		}
+	}
+	f.mu.Unlock()
+	return data, strings.Join(kinds, "+")
+}

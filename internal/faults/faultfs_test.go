@@ -1,0 +1,151 @@
+package faults
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"pas2p/internal/fsx"
+)
+
+// writeThrough writes data to path through fs and returns what landed
+// on disk.
+func writeThrough(t *testing.T, fs fsx.FS, path string, data []byte) []byte {
+	t.Helper()
+	f, err := fs.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestFaultFSZeroConfigPassesThrough(t *testing.T) {
+	ffs, err := NewFaultFS(fsx.OS{}, FSConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("abcdefgh"), 100)
+	got := writeThrough(t, ffs, filepath.Join(t.TempDir(), "clean.bin"), data)
+	if !bytes.Equal(got, data) {
+		t.Error("zero config corrupted a write")
+	}
+	if n := len(ffs.CorruptedPaths()); n != 0 {
+		t.Errorf("%d corrupted paths, want 0", n)
+	}
+}
+
+func TestFaultFSDeterministicSchedule(t *testing.T) {
+	run := func(dir string) ([]string, FSReport, map[string][]byte) {
+		ffs, err := NewFaultFS(fsx.OS{}, FSConfig{Seed: 42, TornRate: 0.3, TruncRate: 0.3, FlipRate: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		contents := map[string][]byte{}
+		for _, name := range []string{"a.bin", "b.bin", "c.bin", "d.bin", "e.bin", "f.bin"} {
+			data := bytes.Repeat([]byte(name), 200)
+			contents[name] = writeThrough(t, ffs, filepath.Join(dir, name), data)
+		}
+		var bases []string
+		for _, p := range ffs.CorruptedPaths() {
+			bases = append(bases, filepath.Base(p))
+		}
+		return bases, ffs.FSReport(), contents
+	}
+	b1, r1, c1 := run(t.TempDir())
+	b2, r2, c2 := run(t.TempDir())
+	if !reflect.DeepEqual(b1, b2) {
+		t.Errorf("corrupted sets differ: %v vs %v", b1, b2)
+	}
+	if r1 != r2 {
+		t.Errorf("reports differ: %+v vs %+v", r1, r2)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Error("corrupted contents differ between identically seeded runs")
+	}
+	if r1.TornWrites+r1.Truncations+r1.Flips == 0 {
+		t.Error("30% rates over 6 files injected nothing; schedule is broken")
+	}
+	// Every path the FS claims corrupted must actually differ on disk.
+	for _, b := range b1 {
+		orig := bytes.Repeat([]byte(b), 200)
+		if bytes.Equal(c1[b], orig) {
+			t.Errorf("%s marked corrupt but bytes unchanged", b)
+		}
+	}
+}
+
+func TestFaultFSRenameCarriesMarker(t *testing.T) {
+	dir := t.TempDir()
+	// FlipRate 1: every write is corrupted.
+	ffs, err := NewFaultFS(fsx.OS{}, FSConfig{Seed: 7, FlipRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, ".tmp.x.bin")
+	final := filepath.Join(dir, "x.bin")
+	writeThrough(t, ffs, tmp, []byte("0123456789abcdef"))
+	if err := ffs.Rename(tmp, final); err != nil {
+		t.Fatal(err)
+	}
+	got := ffs.CorruptedPaths()
+	if len(got) != 1 || got[0] != final {
+		t.Errorf("corrupted paths after rename = %v, want [%s]", got, final)
+	}
+	// Removing the file clears the marker.
+	if err := ffs.Remove(final); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ffs.CorruptedPaths()); n != 0 {
+		t.Errorf("%d corrupted paths after remove, want 0", n)
+	}
+}
+
+func TestFaultFSCleanRewriteHeals(t *testing.T) {
+	dir := t.TempDir()
+	ffs, err := NewFaultFS(fsx.OS{}, FSConfig{Seed: 9, FlipRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "heal.bin")
+	writeThrough(t, ffs, path, []byte("corrupt me once"))
+	if len(ffs.CorruptedPaths()) != 1 {
+		t.Fatal("first write should be corrupted")
+	}
+	// A clean FS writing over the same path heals the marker via the
+	// fault FS's Rename (atomic-write pattern: clean temp content
+	// renamed over the corrupted destination).
+	clean := filepath.Join(dir, "clean.src")
+	if err := os.WriteFile(clean, []byte("fresh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ffs.Rename(clean, path); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(ffs.CorruptedPaths()); n != 0 {
+		t.Errorf("%d corrupted paths after clean rename, want 0", n)
+	}
+}
+
+func TestFSConfigValidate(t *testing.T) {
+	bad := []FSConfig{{TornRate: -0.1}, {TruncRate: 1.5}, {FlipRate: 2}}
+	for _, cfg := range bad {
+		if _, err := NewFaultFS(fsx.OS{}, cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package fsx is the write-side filesystem seam of the persistence
+// layer. Every durable artefact the tool produces — tracefiles,
+// persisted signatures, repository entries and manifests — goes to
+// disk through an FS value, so tests (and the deterministic fault
+// injector in internal/faults) can interpose torn writes, truncation
+// and bit-rot below the codec layer without touching the codecs.
+//
+// The package also fixes the crash-consistency protocol in one place:
+// WriteFileAtomic stages content in a temporary file in the target's
+// directory, fsyncs it, renames it over the destination, and fsyncs
+// the directory, so a crash at any point leaves either the old
+// content, the new content, or an orphaned temp file — never a
+// half-written destination.
+package fsx
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	iofs "io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable handle an FS hands out. Sync must flush the
+// content to stable storage before Close makes it visible to renames.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the set of filesystem operations the persistence layer needs.
+// Implementations must be safe for concurrent use.
+type FS interface {
+	// MkdirAll creates a directory tree (os.MkdirAll semantics).
+	MkdirAll(dir string, perm iofs.FileMode) error
+	// Create opens a file for writing, truncating it if it exists.
+	Create(name string) (File, error)
+	// CreateExclusive creates a file that must not already exist
+	// (O_CREATE|O_EXCL semantics); it is the primitive lock files are
+	// built on.
+	CreateExclusive(name string) (File, error)
+	// ReadFile returns a file's full content.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory.
+	ReadDir(dir string) ([]iofs.DirEntry, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// Stat describes a file.
+	Stat(name string) (iofs.FileInfo, error)
+	// SyncDir fsyncs a directory, making renames within it durable.
+	SyncDir(dir string) error
+}
+
+// OS is the real filesystem.
+type OS struct{}
+
+func (OS) MkdirAll(dir string, perm iofs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (OS) Create(name string) (File, error) { return os.Create(name) }
+
+func (OS) CreateExclusive(name string) (File, error) {
+	return os.OpenFile(name, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+}
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) ReadDir(dir string) ([]iofs.DirEntry, error) { return os.ReadDir(dir) }
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OS) Remove(name string) error { return os.Remove(name) }
+
+func (OS) Stat(name string) (iofs.FileInfo, error) { return os.Stat(name) }
+
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some platforms (and some filesystems) refuse to fsync a
+	// directory handle; that only loses the durability of the rename,
+	// not its atomicity, so it is not worth failing the write over.
+	if err := d.Sync(); err != nil && !errors.Is(err, iofs.ErrInvalid) {
+		return err
+	}
+	return nil
+}
+
+// WriteFileAtomic writes a file through the crash-consistency
+// protocol: the content produced by write is staged in a temporary
+// file next to path, fsynced, renamed over path, and the directory is
+// fsynced. On any error the temp file is removed and the destination
+// is untouched.
+func WriteFileAtomic(fs FS, path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	tmp := filepath.Join(dir, ".tmp."+filepath.Base(path))
+	f, err := fs.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("fsx: staging %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return fmt.Errorf("fsx: syncing %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("fsx: closing %s: %w", tmp, err)
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return fmt.Errorf("fsx: publishing %s: %w", path, err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("fsx: syncing dir of %s: %w", path, err)
+	}
+	return nil
+}
+
+// WriteBytesAtomic is WriteFileAtomic for in-memory content.
+func WriteBytesAtomic(fs FS, path string, data []byte) error {
+	return WriteFileAtomic(fs, path, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	})
+}

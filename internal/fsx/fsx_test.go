@@ -1,0 +1,82 @@
+package fsx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteBytesAtomic(OS{}, path, []byte("hello durable world")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello durable world" {
+		t.Errorf("content = %q", got)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Errorf("temp file left behind: %v", ents)
+	}
+}
+
+func TestWriteFileAtomicReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteBytesAtomic(OS{}, path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBytesAtomic(OS{}, path, []byte("new content")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "new content" {
+		t.Errorf("content = %q", got)
+	}
+}
+
+func TestWriteFileAtomicFailedWriteLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteBytesAtomic(OS{}, path, []byte("survivor")); err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("mid-write failure")
+	err := WriteFileAtomic(OS{}, path, func(w io.Writer) error {
+		io.WriteString(w, "partial garbage that must never land")
+		return boom
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want the writer's error", err)
+	}
+	got, _ := os.ReadFile(path)
+	if string(got) != "survivor" {
+		t.Errorf("destination clobbered: %q", got)
+	}
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp.") {
+			t.Errorf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomicCreateError(t *testing.T) {
+	// The parent directory does not exist: Create must fail and the
+	// error must name the destination.
+	err := WriteBytesAtomic(OS{}, filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"))
+	if err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,6 +1,9 @@
 package signature
 
 import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -29,8 +32,24 @@ type Saved struct {
 	Catalog     *checkpoint.Catalog
 }
 
-// Save writes the signature's persistent form. workload and
-// baseCluster label the artefact for the reader.
+// EnvelopeVersion is the current persisted-signature format: the
+// Saved payload wrapped in an integrity envelope. Version 1 is the
+// bare Saved JSON, still accepted by LoadSaved as the migration path.
+const EnvelopeVersion = 2
+
+// envelope is the on-disk wrapper of a persisted signature. The
+// SHA-256 is computed over the compacted payload bytes, so pretty-
+// printing or re-indenting the file does not invalidate it — only
+// changing the payload's content does.
+type envelope struct {
+	FormatVersion int             `json:"formatVersion"`
+	PayloadSHA256 string          `json:"payloadSHA256"`
+	Payload       json.RawMessage `json:"payload"`
+}
+
+// Save writes the signature's persistent form: a version-2 envelope
+// whose payload checksum lets readers detect bit-rot and torn writes.
+// workload and baseCluster label the artefact for the reader.
 func (s *Signature) Save(w io.Writer, workload, baseCluster string) error {
 	saved := Saved{
 		AppName:     s.App.Name,
@@ -42,15 +61,61 @@ func (s *Signature) Save(w io.Writer, workload, baseCluster string) error {
 		Table:       s.Table,
 		Catalog:     s.Catalog,
 	}
+	payload, err := json.Marshal(&saved)
+	if err != nil {
+		return fmt.Errorf("signature: encoding payload: %w", err)
+	}
+	sum := sha256.Sum256(payload)
+	env := envelope{
+		FormatVersion: EnvelopeVersion,
+		PayloadSHA256: hex.EncodeToString(sum[:]),
+		Payload:       payload,
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	return enc.Encode(&saved)
+	return enc.Encode(&env)
 }
 
-// LoadSaved reads a persisted signature description.
+// LoadSaved reads a persisted signature description: the current
+// checksummed envelope, or the bare version-1 JSON via the migration
+// path. Envelope checksum mismatches are reported as corruption, not
+// decoded into a wrong signature.
 func LoadSaved(r io.Reader) (*Saved, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("signature: reading: %w", err)
+	}
+	var env envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("signature: decoding: %w", err)
+	}
+	if env.FormatVersion == 0 && env.PayloadSHA256 == "" && env.Payload == nil {
+		// Bare v1 form: the whole document is the Saved payload.
+		return loadPayload(data)
+	}
+	if env.FormatVersion != EnvelopeVersion {
+		return nil, fmt.Errorf("signature: unsupported format version %d (want %d)",
+			env.FormatVersion, EnvelopeVersion)
+	}
+	if len(env.Payload) == 0 {
+		return nil, fmt.Errorf("signature: envelope missing payload")
+	}
+	var compact bytes.Buffer
+	if err := json.Compact(&compact, env.Payload); err != nil {
+		return nil, fmt.Errorf("signature: corrupt payload: %w", err)
+	}
+	sum := sha256.Sum256(compact.Bytes())
+	if got := hex.EncodeToString(sum[:]); got != env.PayloadSHA256 {
+		return nil, fmt.Errorf("signature: payload checksum mismatch (stored %.12s…, computed %.12s…)",
+			env.PayloadSHA256, got)
+	}
+	return loadPayload(env.Payload)
+}
+
+// loadPayload decodes and validates the Saved payload itself.
+func loadPayload(data []byte) (*Saved, error) {
 	var s Saved
-	if err := json.NewDecoder(r).Decode(&s); err != nil {
+	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("signature: decoding: %w", err)
 	}
 	if s.Table == nil || s.Catalog == nil {

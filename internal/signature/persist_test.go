@@ -2,9 +2,14 @@ package signature
 
 import (
 	"bytes"
-	"pas2p/internal/machine"
+	"encoding/json"
+	"os"
+	"reflect"
 	"strings"
 	"testing"
+
+	"pas2p/internal/apps"
+	"pas2p/internal/machine"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -46,6 +51,157 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if r1.PET != r2.PET || r1.SET != r2.SET {
 		t.Errorf("reassembled signature diverges: PET %v/%v SET %v/%v",
 			r1.PET, r2.PET, r1.SET, r2.SET)
+	}
+}
+
+// TestSaveWritesEnvelope pins the v2 on-disk shape: formatVersion,
+// payloadSHA256, payload.
+func TestSaveWritesEnvelope(t *testing.T) {
+	app := iterApp(8, 20)
+	base := deployOn(t, machine.ClusterA(), 8)
+	tb, _ := analyze(t, app, base)
+	br, err := Build(app, tb, base, lightOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := br.Signature.Save(&buf, "wl", "Cluster A"); err != nil {
+		t.Fatal(err)
+	}
+	var probe struct {
+		FormatVersion int             `json:"formatVersion"`
+		PayloadSHA256 string          `json:"payloadSHA256"`
+		Payload       json.RawMessage `json:"payload"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &probe); err != nil {
+		t.Fatal(err)
+	}
+	if probe.FormatVersion != EnvelopeVersion || len(probe.PayloadSHA256) != 64 || len(probe.Payload) == 0 {
+		t.Errorf("envelope shape wrong: version %d, sha %q", probe.FormatVersion, probe.PayloadSHA256)
+	}
+}
+
+// TestLoadSavedMigratesBareV1 feeds LoadSaved the pre-envelope form (a
+// bare Saved document) and expects the migration path to accept it.
+func TestLoadSavedMigratesBareV1(t *testing.T) {
+	app := iterApp(8, 20)
+	base := deployOn(t, machine.ClusterA(), 8)
+	tb, _ := analyze(t, app, base)
+	br, err := Build(app, tb, base, lightOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env bytes.Buffer
+	if err := br.Signature.Save(&env, "wl", "Cluster A"); err != nil {
+		t.Fatal(err)
+	}
+	fromEnv, err := LoadSaved(bytes.NewReader(env.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bare v1 writer was a plain JSON encoding of Saved.
+	bare, err := json.Marshal(fromEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBare, err := LoadSaved(bytes.NewReader(bare))
+	if err != nil {
+		t.Fatalf("bare v1 migration: %v", err)
+	}
+	if !reflect.DeepEqual(fromEnv, fromBare) {
+		t.Error("v1 and v2 load paths disagree")
+	}
+}
+
+// TestGoldenV1SignatureMigration loads the committed pre-envelope
+// signature file, predicts from it, and checks the v2 re-save
+// predicts bit-identically: stored metadata migrates losslessly.
+func TestGoldenV1SignatureMigration(t *testing.T) {
+	raw, err := os.ReadFile("testdata/golden_v1.sig.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("payloadSHA256")) {
+		t.Fatal("golden file is not bare v1; regenerate from the pre-envelope writer")
+	}
+	saved, err := LoadSaved(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("golden v1 migration: %v", err)
+	}
+	if saved.AppName != "cg" || saved.Procs != 8 || saved.Workload != "classA" {
+		t.Fatalf("golden decoded to %s/p%d/%q", saved.AppName, saved.Procs, saved.Workload)
+	}
+	app, err := apps.Make(saved.AppName, saved.Procs, saved.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := saved.Reassemble(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := deployOn(t, machine.ClusterB(), 8)
+	r1, err := sig.Execute(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2 bytes.Buffer
+	if err := sig.Save(&v2, saved.Workload, saved.BaseCluster); err != nil {
+		t.Fatal(err)
+	}
+	saved2, err := LoadSaved(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig2, err := saved2.Reassemble(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sig2.Execute(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.PET != r2.PET || r1.SET != r2.SET {
+		t.Errorf("migrated signature diverges: PET %v/%v SET %v/%v", r1.PET, r2.PET, r1.SET, r2.SET)
+	}
+}
+
+// TestEnvelopeDetectsEveryByteFlip flips each byte of a persisted
+// envelope in turn; every flip must either be rejected (JSON syntax,
+// version check, or payload checksum) or decode to the exact original
+// signature (e.g. a case flip in a key name, which Go's JSON matches
+// case-insensitively). What can never happen is a silently *wrong*
+// signature.
+func TestEnvelopeDetectsEveryByteFlip(t *testing.T) {
+	app := iterApp(8, 10)
+	base := deployOn(t, machine.ClusterA(), 8)
+	tb, _ := analyze(t, app, base)
+	br, err := Build(app, tb, base, lightOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := br.Signature.Save(&buf, "wl", "Cluster A"); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	want, err := LoadSaved(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pos := 0; pos < len(raw); pos++ {
+		corrupted := append([]byte(nil), raw...)
+		corrupted[pos] ^= 1 << (pos % 8)
+		got, err := LoadSaved(bytes.NewReader(corrupted))
+		if err == nil && !reflect.DeepEqual(got, want) {
+			t.Fatalf("bit flip at byte %d loaded a different signature", pos)
+		}
+	}
+	// Torn tails: anything cutting into the JSON itself must fail
+	// (cutting only the trailing newline is a complete document).
+	for _, cut := range []int{0, 1, len(raw) / 2, len(raw) - 2} {
+		if _, err := LoadSaved(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation to %d bytes went undetected", cut)
+		}
 	}
 }
 

@@ -1,0 +1,166 @@
+package sigrepo
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// FsckReport summarises one repair pass over the repository.
+type FsckReport struct {
+	// Scanned is the number of entry files examined.
+	Scanned int
+	// Verified is how many passed full verification.
+	Verified int
+	// Corrupt is how many failed their checksum (all are quarantined).
+	Corrupt int
+	// Quarantined lists the destination paths of quarantined files.
+	Quarantined []string
+	// TempsRemoved counts orphaned temp files from crashed writers.
+	TempsRemoved int
+	// ManifestAdopted counts valid entries that were missing from the
+	// journal and are now journalled.
+	ManifestAdopted int
+	// ManifestDropped counts journal entries whose file is gone.
+	ManifestDropped int
+	// ManifestRebuilt is true when the journal itself was unreadable
+	// and had to be rebuilt from the surviving entries.
+	ManifestRebuilt bool
+	// Problems itemises everything found.
+	Problems []Problem
+}
+
+func (rep *FsckReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fsck: %d scanned, %d verified, %d corrupt (%d quarantined)",
+		rep.Scanned, rep.Verified, rep.Corrupt, len(rep.Quarantined))
+	fmt.Fprintf(&b, "\n  manifest : %d adopted, %d dropped, rebuilt=%v",
+		rep.ManifestAdopted, rep.ManifestDropped, rep.ManifestRebuilt)
+	if rep.TempsRemoved > 0 {
+		fmt.Fprintf(&b, "\n  cleaned  : %d stray temp files", rep.TempsRemoved)
+	}
+	for _, p := range rep.Problems {
+		fmt.Fprintf(&b, "\n  - %s", p)
+	}
+	return b.String()
+}
+
+// Fsck scans the repository, verifies every entry against its
+// embedded checksum and the manifest, quarantines corrupt files under
+// quarantine/, removes temp files left by crashed writers, and
+// rebuilds the manifest to journal exactly the verified survivors.
+// It takes the repo lock, so it is safe alongside concurrent Adds.
+func (r *Repo) Fsck() (*FsckReport, error) {
+	unlock, err := r.acquireLock()
+	if err != nil {
+		return nil, err
+	}
+	defer unlock()
+
+	rep := &FsckReport{}
+	names, temps, err := r.scanNames()
+	if err != nil {
+		return nil, err
+	}
+	m, mProblem := r.loadManifestChecked()
+	if mProblem != nil {
+		rep.ManifestRebuilt = true
+		rep.Problems = append(rep.Problems, *mProblem)
+	}
+
+	// Orphaned temp files are debris from crashed writers: the
+	// rename never happened, so they hold no published data.
+	for _, t := range temps {
+		path := filepath.Join(r.dir, t)
+		rep.Problems = append(rep.Problems, Problem{Path: path, Kind: "stray-temp"})
+		if err := r.fs.Remove(path); err == nil {
+			rep.TempsRemoved++
+		}
+	}
+
+	rebuilt := newManifest()
+	for _, name := range names {
+		rep.Scanned++
+		e, p := r.verifyEntry(name, m)
+		if p != nil {
+			rep.Problems = append(rep.Problems, *p)
+		}
+		if e == nil {
+			rep.Corrupt++
+			r.bump("repo.corrupt", 1)
+			qpath, qerr := r.quarantine(name)
+			if qerr != nil {
+				return nil, qerr
+			}
+			rep.Quarantined = append(rep.Quarantined, qpath)
+			r.bump("repo.quarantined", 1)
+			continue
+		}
+		rep.Verified++
+		r.bump("repo.verified", 1)
+		// Re-journal from the file itself: the entry's bytes are the
+		// authority for the rebuilt manifest.
+		data, err := r.fs.ReadFile(filepath.Join(r.dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("sigrepo: rereading %s: %w", name, err)
+		}
+		rebuilt.Entries[name] = manifestEntry{
+			App:      e.Saved.AppName,
+			Procs:    e.Saved.Procs,
+			Workload: e.Saved.Workload,
+			SHA256:   contentSHA256(data),
+			Size:     int64(len(data)),
+		}
+		if m != nil {
+			if _, ok := m.Entries[name]; !ok {
+				rep.ManifestAdopted++
+				rep.Problems = append(rep.Problems, Problem{
+					Path: filepath.Join(r.dir, name), Kind: "unmanifested"})
+			}
+		} else if mProblem == nil {
+			// Legacy repository without a journal: everything valid
+			// is adopted silently.
+			rep.ManifestAdopted++
+		}
+	}
+	if m != nil {
+		have := make(map[string]bool, len(names))
+		for _, n := range names {
+			have[n] = true
+		}
+		for _, n := range sortedKeys(m.Entries) {
+			if !have[n] {
+				rep.ManifestDropped++
+				rep.Problems = append(rep.Problems, Problem{
+					Path: filepath.Join(r.dir, n), Kind: "manifest-orphan"})
+			}
+		}
+	}
+	if err := r.storeManifest(rebuilt); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// quarantine moves a corrupt entry into QuarantineDir, never
+// overwriting earlier quarantined generations of the same name.
+func (r *Repo) quarantine(name string) (string, error) {
+	qdir := filepath.Join(r.dir, QuarantineDir)
+	if err := r.fs.MkdirAll(qdir, 0o755); err != nil {
+		return "", fmt.Errorf("sigrepo: creating quarantine: %w", err)
+	}
+	dst := filepath.Join(qdir, name)
+	for gen := 1; ; gen++ {
+		if _, err := r.fs.Stat(dst); err != nil {
+			break
+		}
+		dst = filepath.Join(qdir, fmt.Sprintf("%s.%d", name, gen))
+	}
+	if err := r.fs.Rename(filepath.Join(r.dir, name), dst); err != nil {
+		return "", fmt.Errorf("sigrepo: quarantining %s: %w", name, err)
+	}
+	if err := r.fs.SyncDir(r.dir); err != nil {
+		return "", err
+	}
+	return dst, nil
+}

@@ -1,0 +1,47 @@
+package sigrepo
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// acquireLock serializes repository writers through a lock file
+// created with O_CREATE|O_EXCL. A competing writer retries with
+// backoff for lockWait; a lock file older than staleLockAge is
+// presumed abandoned by a crashed writer and taken over. The returned
+// release func removes the lock.
+func (r *Repo) acquireLock() (func(), error) {
+	path := filepath.Join(r.dir, lockName)
+	deadline := time.Now().Add(r.lockWait)
+	backoff := r.retryBackoff
+	for {
+		f, err := r.fs.CreateExclusive(path)
+		if err == nil {
+			fmt.Fprintf(f, "pid %d\nacquired %s\n", os.Getpid(), time.Now().Format(time.RFC3339Nano))
+			f.Sync()
+			f.Close()
+			return func() { r.fs.Remove(path) }, nil
+		}
+		// Somebody holds it. Stale-lock takeover: a crashed writer
+		// cannot release, so an old enough lock is broken.
+		if fi, serr := r.fs.Stat(path); serr == nil {
+			if age := time.Since(fi.ModTime()); age > r.staleLockAge {
+				r.fs.Remove(path)
+				r.bump("repo.lock_takeovers", 1)
+				continue
+			}
+		} else if os.IsNotExist(serr) {
+			continue // released between attempts; try again immediately
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("sigrepo: repository %s is locked (lock file %s; stale after %v)",
+				r.dir, path, r.staleLockAge)
+		}
+		time.Sleep(backoff)
+		if backoff < 100*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}

@@ -4,59 +4,181 @@
 // count, workload), and schedulers or users look execution-time
 // predictions up by executing the stored signature on the machine at
 // hand instead of re-running applications.
+//
+// Because the stored artefacts, not live runs, are the system of
+// record, the repository is built for crash safety and corruption
+// detection:
+//
+//   - every write goes temp-file → fsync → rename → directory fsync
+//     through the fsx seam, so a crash never leaves a half-written
+//     entry visible;
+//   - a MANIFEST.json journal records each entry's key, checksum and
+//     size; readers verify entries lazily against their embedded
+//     payload checksum and the manifest, skip corrupt files instead
+//     of failing wholesale, and Fsck quarantines them and rebuilds
+//     the manifest;
+//   - concurrent writers serialize on a lock file with stale-lock
+//     takeover, and transient I/O errors are retried with bounded
+//     backoff.
+//
+// Operational counters are published to an optional obs.Registry
+// under repo.* names (verified, corrupt, quarantined, retries, …).
 package sigrepo
 
 import (
 	"fmt"
-	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
+	"pas2p/internal/fsx"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
+	"pas2p/internal/obs"
 	"pas2p/internal/signature"
 )
 
+const (
+	manifestName = "MANIFEST.json"
+	lockName     = "LOCK"
+	// QuarantineDir is the subdirectory corrupt entries are moved to.
+	QuarantineDir = "quarantine"
+	sigSuffix     = ".sig.json"
+	tmpPrefix     = ".tmp."
+)
+
 // Repo is a signature store rooted at a directory; each signature is
-// one JSON file produced by signature.Save.
+// one checksummed JSON file produced by signature.Save, journalled in
+// the manifest.
 type Repo struct {
 	dir string
+	fs  fsx.FS
+	reg *obs.Registry
+
+	// Operational knobs, defaulted by open; tests shrink them.
+	retryAttempts int           // bounded retry of transient write errors
+	retryBackoff  time.Duration // base backoff between retries (doubled each)
+	lockWait      time.Duration // how long Add/Fsck waits for the lock
+	staleLockAge  time.Duration // locks older than this are taken over
 }
 
-// Open binds a repository to a directory, creating it if needed.
+// Open binds a repository to a directory on the real filesystem,
+// creating it if needed.
 func Open(dir string) (*Repo, error) {
+	return OpenFS(dir, fsx.OS{}, nil)
+}
+
+// OpenFS binds a repository to a directory through an explicit
+// filesystem seam (tests inject fault-injecting filesystems here) and
+// an optional metrics registry for the repo.* counters.
+func OpenFS(dir string, fs fsx.FS, reg *obs.Registry) (*Repo, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("sigrepo: empty directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fs == nil {
+		fs = fsx.OS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sigrepo: %w", err)
 	}
-	return &Repo{dir: dir}, nil
+	return &Repo{
+		dir:           dir,
+		fs:            fs,
+		reg:           reg,
+		retryAttempts: 3,
+		retryBackoff:  5 * time.Millisecond,
+		lockWait:      2 * time.Second,
+		staleLockAge:  5 * time.Minute,
+	}, nil
 }
 
-// key builds the canonical filename for an entry.
-func key(appName string, procs int, workload string) string {
-	sanitized := strings.Map(func(r rune) rune {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.':
-			return r
-		default:
-			return '_'
-		}
-	}, workload)
-	return fmt.Sprintf("%s_p%d_%s.sig.json", appName, procs, sanitized)
-}
-
-// Add stores a signature under its application identity.
-func (r *Repo) Add(sig *signature.Signature, workload, baseCluster string) (string, error) {
-	path := filepath.Join(r.dir, key(sig.App.Name, sig.App.Procs, workload))
-	f, err := os.Create(path)
-	if err != nil {
-		return "", fmt.Errorf("sigrepo: %w", err)
+// bump adds to a repo.* counter when a registry is attached.
+func (r *Repo) bump(name string, n int64) {
+	if r.reg != nil && n != 0 {
+		r.reg.Counter(name).Add(n)
 	}
-	defer f.Close()
-	if err := sig.Save(f, workload, baseCluster); err != nil {
+}
+
+// withRetry runs op, retrying transient failures with exponential
+// backoff up to the configured attempt bound.
+func (r *Repo) withRetry(op func() error) error {
+	var err error
+	backoff := r.retryBackoff
+	for attempt := 0; ; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if attempt >= r.retryAttempts {
+			return err
+		}
+		r.bump("repo.retries", 1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// escapeComponent maps an arbitrary string to a filesystem-safe,
+// injective encoding: bytes outside [a-zA-Z0-9.-] become _xx (two
+// lowercase hex digits). '_' itself is escaped, so distinct inputs
+// can never collide (the old lossy sanitisation mapped "a/b" and
+// "a_b" to the same file).
+func escapeComponent(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '.':
+			b.WriteByte(c)
+		default:
+			fmt.Fprintf(&b, "_%02x", c)
+		}
+	}
+	return b.String()
+}
+
+// key builds the canonical filename for an entry. The escaped
+// components contain '_' only as an escape prefix, so the _p<procs>_
+// separators stay unambiguous and the mapping is injective.
+func key(appName string, procs int, workload string) string {
+	return fmt.Sprintf("%s_p%d_%s%s", escapeComponent(appName), procs, escapeComponent(workload), sigSuffix)
+}
+
+// Add stores a signature under its application identity: the entry is
+// serialised in memory, written atomically (temp → fsync → rename →
+// dir fsync), and journalled in the manifest, all under the repo
+// lock. A failed Add never leaves a partial entry visible.
+func (r *Repo) Add(sig *signature.Signature, workload, baseCluster string) (string, error) {
+	var buf strings.Builder
+	if err := sig.Save(&buf, workload, baseCluster); err != nil {
+		return "", err
+	}
+	data := []byte(buf.String())
+
+	unlock, err := r.acquireLock()
+	if err != nil {
+		return "", err
+	}
+	defer unlock()
+
+	name := key(sig.App.Name, sig.App.Procs, workload)
+	path := filepath.Join(r.dir, name)
+	if err := r.withRetry(func() error {
+		return fsx.WriteBytesAtomic(r.fs, path, data)
+	}); err != nil {
+		return "", fmt.Errorf("sigrepo: writing %s: %w", path, err)
+	}
+	r.bump("repo.writes", 1)
+
+	m := r.loadManifestTolerant()
+	m.Entries[name] = manifestEntry{
+		App:      sig.App.Name,
+		Procs:    sig.App.Procs,
+		Workload: workload,
+		SHA256:   contentSHA256(data),
+		Size:     int64(len(data)),
+	}
+	if err := r.storeManifest(m); err != nil {
 		return "", err
 	}
 	return path, nil
@@ -68,42 +190,141 @@ type Entry struct {
 	Saved *signature.Saved
 }
 
-// List returns every stored signature, sorted by filename.
-func (r *Repo) List() ([]Entry, error) {
-	matches, err := filepath.Glob(filepath.Join(r.dir, "*.sig.json"))
-	if err != nil {
-		return nil, err
-	}
-	sort.Strings(matches)
-	var out []Entry
-	for _, path := range matches {
-		f, err := os.Open(path)
-		if err != nil {
-			return nil, err
-		}
-		saved, err := signature.LoadSaved(f)
-		f.Close()
-		if err != nil {
-			return nil, fmt.Errorf("sigrepo: %s: %w", path, err)
-		}
-		out = append(out, Entry{Path: path, Saved: saved})
-	}
-	return out, nil
+// Problem describes one entry the repository could not serve, or a
+// journal inconsistency found while scanning. Corrupt entries are
+// reported here instead of failing List wholesale.
+type Problem struct {
+	// Path is the offending file (or manifest entry).
+	Path string
+	// Kind classifies the problem: "corrupt" (entry fails its
+	// checksum), "manifest-mismatch" (valid entry disagreeing with
+	// the journal), "manifest-orphan" (journal entry with no file),
+	// "manifest-corrupt" (unreadable journal), or "stray-temp".
+	Kind string
+	// Err is the underlying error, when there is one.
+	Err error
 }
 
-// Lookup finds the stored signature for an application identity.
-func (r *Repo) Lookup(appName string, procs int, workload string) (*Entry, error) {
-	path := filepath.Join(r.dir, key(appName, procs, workload))
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("sigrepo: no signature for %s/p%d/%q: %w", appName, procs, workload, err)
+func (p Problem) String() string {
+	if p.Err != nil {
+		return fmt.Sprintf("%s: %s: %v", p.Kind, p.Path, p.Err)
 	}
-	defer f.Close()
-	saved, err := signature.LoadSaved(f)
+	return fmt.Sprintf("%s: %s", p.Kind, p.Path)
+}
+
+// scanNames lists the repository's entry filenames, sorted.
+func (r *Repo) scanNames() ([]string, []string, error) {
+	ents, err := r.fs.ReadDir(r.dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, fmt.Errorf("sigrepo: scanning %s: %w", r.dir, err)
+	}
+	var names, temps []string
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		n := e.Name()
+		switch {
+		case strings.HasSuffix(n, sigSuffix) && !strings.HasPrefix(n, tmpPrefix):
+			names = append(names, n)
+		case strings.HasPrefix(n, tmpPrefix):
+			temps = append(temps, n)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(temps)
+	return names, temps, nil
+}
+
+// verifyEntry reads and fully verifies one entry: the embedded
+// payload checksum must hold, and, when the manifest journals the
+// entry, the file's size and content hash must match the journal.
+func (r *Repo) verifyEntry(name string, m *manifest) (*Entry, *Problem) {
+	path := filepath.Join(r.dir, name)
+	data, err := r.fs.ReadFile(path)
+	if err != nil {
+		return nil, &Problem{Path: path, Kind: "corrupt", Err: err}
+	}
+	saved, err := signature.LoadSaved(strings.NewReader(string(data)))
+	if err != nil {
+		return nil, &Problem{Path: path, Kind: "corrupt", Err: err}
+	}
+	if m != nil {
+		if me, ok := m.Entries[name]; ok {
+			if me.Size != int64(len(data)) || me.SHA256 != contentSHA256(data) {
+				// The file is internally consistent but disagrees
+				// with the journal (stale manifest or swapped file):
+				// surface it, but serve the file — its own checksum
+				// is the authority.
+				return &Entry{Path: path, Saved: saved},
+					&Problem{Path: path, Kind: "manifest-mismatch"}
+			}
+		}
 	}
 	return &Entry{Path: path, Saved: saved}, nil
+}
+
+// List returns every verifiable stored signature, sorted by filename,
+// plus a report of entries it had to skip or flag. Corrupt entries
+// degrade gracefully: they are reported, never returned, and never
+// fail the listing.
+func (r *Repo) List() ([]Entry, []Problem, error) {
+	names, temps, err := r.scanNames()
+	if err != nil {
+		return nil, nil, err
+	}
+	m, mProblem := r.loadManifestChecked()
+	var out []Entry
+	var problems []Problem
+	if mProblem != nil {
+		problems = append(problems, *mProblem)
+	}
+	for _, t := range temps {
+		problems = append(problems, Problem{Path: filepath.Join(r.dir, t), Kind: "stray-temp"})
+	}
+	for _, name := range names {
+		e, p := r.verifyEntry(name, m)
+		if p != nil {
+			problems = append(problems, *p)
+		}
+		if e != nil {
+			out = append(out, *e)
+			r.bump("repo.verified", 1)
+		} else {
+			r.bump("repo.corrupt", 1)
+		}
+	}
+	if m != nil {
+		have := make(map[string]bool, len(names))
+		for _, n := range names {
+			have[n] = true
+		}
+		for _, n := range sortedKeys(m.Entries) {
+			if !have[n] {
+				problems = append(problems, Problem{Path: filepath.Join(r.dir, n), Kind: "manifest-orphan"})
+			}
+		}
+	}
+	return out, problems, nil
+}
+
+// Lookup finds the stored signature for an application identity. A
+// corrupt entry fails the lookup with a description of the corruption
+// rather than decoding into a wrong signature.
+func (r *Repo) Lookup(appName string, procs int, workload string) (*Entry, error) {
+	name := key(appName, procs, workload)
+	if _, err := r.fs.Stat(filepath.Join(r.dir, name)); err != nil {
+		return nil, fmt.Errorf("sigrepo: no signature for %s/p%d/%q: %w", appName, procs, workload, err)
+	}
+	m, _ := r.loadManifestChecked()
+	e, p := r.verifyEntry(name, m)
+	if e == nil {
+		r.bump("repo.corrupt", 1)
+		return nil, fmt.Errorf("sigrepo: signature for %s/p%d/%q is corrupt (%v); run fsck to quarantine it",
+			appName, procs, workload, p.Err)
+	}
+	r.bump("repo.verified", 1)
+	return e, nil
 }
 
 // Predict reattaches the application code (via makeApp) to a stored
@@ -119,4 +340,13 @@ func (e *Entry) Predict(target *machine.Deployment,
 		return nil, err
 	}
 	return sig.Execute(target)
+}
+
+func sortedKeys(m map[string]manifestEntry) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

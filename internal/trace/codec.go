@@ -5,18 +5,44 @@ import (
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"pas2p/internal/vtime"
 )
 
-// Binary tracefile layout: a fixed header followed by one fixed-size
-// little-endian record per event. The format exists so tracefile sizes
+// Binary tracefile layout. The format exists so tracefile sizes
 // (Table 8's TFSize column) and analysis input costs are realistic,
 // and so traces can be moved between the analyze/signature stages of
 // the CLI.
+//
+// Version 2 (PAS2PTR2) is the crash-safe, corruption-detecting
+// format: the stored artefacts are the system of record once a site
+// serves predictions from a repository, so every region of the file
+// is covered by a CRC32C (Castagnoli):
+//
+//	magic[8] "PAS2PTR2"
+//	header[24]  nameLen u16 | reserved u16 | procs u32 | count u64 | aet u64
+//	appName[nameLen]
+//	headerCRC u32           over magic+header+appName
+//	blocks: per <=blockEvents records, the raw records then a u32 CRC
+//	trailer[8] "PAS2PEND"
+//	fileCRC u32             over every preceding byte of the file
+//
+// Decode still reads version 1 (PAS2PTR1: header and records with no
+// checksums) as the migration path, never trusts header-declared
+// sizes for allocation, and reports corruption with the byte offset
+// at which it was detected.
 
-var magic = [8]byte{'P', 'A', 'S', '2', 'P', 'T', 'R', '1'}
+var (
+	magic   = [8]byte{'P', 'A', 'S', '2', 'P', 'T', 'R', '1'}
+	magicV2 = [8]byte{'P', 'A', 'S', '2', 'P', 'T', 'R', '2'}
+	trailer = [8]byte{'P', 'A', 'S', '2', 'P', 'E', 'N', 'D'}
+)
+
+// crcTable is the Castagnoli polynomial table shared by encode and
+// decode (hardware-accelerated on amd64/arm64).
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 const recordSize = 8 + // ID
 	4 + 8 + // Process, Number
@@ -27,13 +53,312 @@ const recordSize = 8 + // ID
 	8 + 8 + // RelA, RelB
 	8 // ComputeBefore
 
-// EncodedSize returns the exact tracefile size in bytes for a trace.
+// blockEvents is the number of event records per checksummed block;
+// a corruption is localised to one block-sized byte range.
+const blockEvents = 512
+
+// maxEventCount caps the header-declared event count; anything larger
+// is rejected as implausible before any reading happens.
+const maxEventCount = 1 << 36
+
+// eventChunk bounds slice growth while decoding: the events slice is
+// grown at most this many entries at a time, so a malicious count
+// cannot force a huge up-front allocation.
+const eventChunk = 1 << 16
+
+// EncodedSize returns the exact tracefile size in bytes for a trace
+// in the current (v2) format.
 func EncodedSize(t *Trace) int64 {
-	return int64(8+2+2+4+8+8+len(t.AppName)) + int64(len(t.Events))*recordSize
+	n := int64(len(t.Events))
+	blocks := (n + blockEvents - 1) / blockEvents
+	return 8 + 24 + int64(len(t.AppName)) + 4 + // magic, header, name, headerCRC
+		n*recordSize + blocks*4 + // records + per-block CRCs
+		8 + 4 // trailer magic + fileCRC
 }
 
-// Encode writes the binary tracefile format.
+// putRecord serialises one event into b (recordSize bytes).
+func putRecord(b []byte, e *Event) {
+	le := binary.LittleEndian
+	le.PutUint64(b[0:], uint64(e.ID))
+	le.PutUint32(b[8:], uint32(e.Process))
+	le.PutUint64(b[12:], uint64(e.Number))
+	b[20] = byte(e.Kind)
+	le.PutUint32(b[21:], uint32(e.Involved))
+	b[25] = byte(e.CollOp)
+	le.PutUint32(b[26:], uint32(e.Peer))
+	le.PutUint32(b[30:], uint32(e.Tag))
+	le.PutUint64(b[34:], uint64(e.Size))
+	le.PutUint64(b[42:], uint64(e.Enter))
+	le.PutUint64(b[50:], uint64(e.Exit))
+	le.PutUint64(b[58:], uint64(e.LT))
+	le.PutUint64(b[66:], uint64(e.RelA))
+	le.PutUint64(b[74:], uint64(e.RelB))
+	le.PutUint64(b[82:], uint64(e.ComputeBefore))
+}
+
+// getRecord deserialises one event from b (recordSize bytes).
+func getRecord(b []byte, e *Event) {
+	le := binary.LittleEndian
+	e.ID = int64(le.Uint64(b[0:]))
+	e.Process = int32(le.Uint32(b[8:]))
+	e.Number = int64(le.Uint64(b[12:]))
+	e.Kind = Kind(b[20])
+	e.Involved = int32(le.Uint32(b[21:]))
+	e.CollOp = int8(b[25])
+	e.Peer = int32(le.Uint32(b[26:]))
+	e.Tag = int32(le.Uint32(b[30:]))
+	e.Size = int64(le.Uint64(b[34:]))
+	e.Enter = vtime.Time(le.Uint64(b[42:]))
+	e.Exit = vtime.Time(le.Uint64(b[50:]))
+	e.LT = int64(le.Uint64(b[58:]))
+	e.RelA = int64(le.Uint64(b[66:]))
+	e.RelB = int64(le.Uint64(b[74:]))
+	e.ComputeBefore = vtime.Duration(le.Uint64(b[82:]))
+}
+
+// crcWriter accumulates the whole-file CRC as bytes stream out.
+type crcWriter struct {
+	w   *bufio.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) write(p []byte) error {
+	cw.crc = crc32.Update(cw.crc, crcTable, p)
+	_, err := cw.w.Write(p)
+	return err
+}
+
+// Encode writes the current (v2, checksummed) binary tracefile format.
 func Encode(w io.Writer, t *Trace) error {
+	if len(t.AppName) > 0xffff {
+		return fmt.Errorf("trace: app name too long")
+	}
+	cw := &crcWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if err := cw.write(magicV2[:]); err != nil {
+		return err
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(t.AppName)))
+	binary.LittleEndian.PutUint16(hdr[2:], 0) // reserved
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.Procs))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(t.Events)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(t.AET))
+	if err := cw.write(hdr[:]); err != nil {
+		return err
+	}
+	if err := cw.write([]byte(t.AppName)); err != nil {
+		return err
+	}
+	hcrc := crc32.Update(0, crcTable, magicV2[:])
+	hcrc = crc32.Update(hcrc, crcTable, hdr[:])
+	hcrc = crc32.Update(hcrc, crcTable, []byte(t.AppName))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], hcrc)
+	if err := cw.write(u32[:]); err != nil {
+		return err
+	}
+	var rec [recordSize]byte
+	for start := 0; start < len(t.Events); start += blockEvents {
+		end := start + blockEvents
+		if end > len(t.Events) {
+			end = len(t.Events)
+		}
+		var bcrc uint32
+		for i := start; i < end; i++ {
+			putRecord(rec[:], &t.Events[i])
+			bcrc = crc32.Update(bcrc, crcTable, rec[:])
+			if err := cw.write(rec[:]); err != nil {
+				return err
+			}
+		}
+		binary.LittleEndian.PutUint32(u32[:], bcrc)
+		if err := cw.write(u32[:]); err != nil {
+			return err
+		}
+	}
+	if err := cw.write(trailer[:]); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(u32[:], cw.crc)
+	if err := cw.write(u32[:]); err != nil {
+		return err
+	}
+	return cw.w.Flush()
+}
+
+// crcReader tracks the byte offset and whole-file CRC of everything
+// read, so corruption errors can locate themselves.
+type crcReader struct {
+	br  *bufio.Reader
+	off int64
+	crc uint32
+}
+
+func (cr *crcReader) readFull(p []byte) error {
+	n, err := io.ReadFull(cr.br, p)
+	cr.crc = crc32.Update(cr.crc, crcTable, p[:n])
+	cr.off += int64(n)
+	return err
+}
+
+// corruptf builds a corruption error carrying the detection offset.
+func corruptf(off int64, format string, args ...any) error {
+	return fmt.Errorf("trace: %s (at byte offset %d)", fmt.Sprintf(format, args...), off)
+}
+
+// Decode reads the binary tracefile format, either the current v2
+// (verifying every checksum) or the legacy v1 migration path. All
+// corruption and truncation errors include the byte offset at which
+// the problem was detected.
+func Decode(r io.Reader) (*Trace, error) {
+	cr := &crcReader{br: bufio.NewReaderSize(r, 1<<16)}
+	var m [8]byte
+	if err := cr.readFull(m[:]); err != nil {
+		return nil, corruptf(cr.off, "reading magic: %v", err)
+	}
+	switch m {
+	case magicV2:
+		return decodeV2(cr)
+	case magic:
+		return decodeV1(cr)
+	default:
+		return nil, corruptf(0, "bad magic %q", m[:])
+	}
+}
+
+// readHeader reads and validates the common 24-byte header.
+func readHeader(cr *crcReader) (nameLen int, procs int, count uint64, aet vtime.Duration, hdr [24]byte, err error) {
+	if err = cr.readFull(hdr[:]); err != nil {
+		err = corruptf(cr.off, "reading header: %v", err)
+		return
+	}
+	nameLen = int(binary.LittleEndian.Uint16(hdr[0:]))
+	procs = int(binary.LittleEndian.Uint32(hdr[4:]))
+	count = binary.LittleEndian.Uint64(hdr[8:])
+	aet = vtime.Duration(binary.LittleEndian.Uint64(hdr[16:]))
+	if procs <= 0 || procs > 1<<20 {
+		err = corruptf(cr.off, "implausible process count %d", procs)
+		return
+	}
+	if count > maxEventCount {
+		err = corruptf(cr.off, "implausible event count %d", count)
+		return
+	}
+	return
+}
+
+// growEvents extends evs towards total in bounded chunks: the header
+// count is never trusted for a single large allocation, so a 32-byte
+// malicious header cannot demand terabytes.
+func growEvents(evs []Event, total uint64) []Event {
+	want := cap(evs) + eventChunk
+	if uint64(want) > total {
+		want = int(total)
+	}
+	grown := make([]Event, len(evs), want)
+	copy(grown, evs)
+	return grown
+}
+
+// decodeV1 reads the legacy unchecksummed body (magic already
+// consumed). It survives as the migration path for pre-v2 archives.
+func decodeV1(cr *crcReader) (*Trace, error) {
+	nameLen, procs, count, aet, _, err := readHeader(cr)
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if err := cr.readFull(name); err != nil {
+		return nil, corruptf(cr.off, "reading app name: %v", err)
+	}
+	t := &Trace{AppName: string(name), Procs: procs, AET: aet, Events: make([]Event, 0)}
+	var rec [recordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if uint64(cap(t.Events)) <= i {
+			t.Events = growEvents(t.Events, count)
+		}
+		if err := cr.readFull(rec[:]); err != nil {
+			return nil, corruptf(cr.off, "reading event %d of %d: %v", i, count, err)
+		}
+		t.Events = t.Events[:i+1]
+		getRecord(rec[:], &t.Events[i])
+	}
+	return t, nil
+}
+
+// decodeV2 reads the checksummed body (magic already consumed and
+// folded into cr.crc).
+func decodeV2(cr *crcReader) (*Trace, error) {
+	nameLen, procs, count, aet, hdr, err := readHeader(cr)
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if err := cr.readFull(name); err != nil {
+		return nil, corruptf(cr.off, "reading app name: %v", err)
+	}
+	wantH := crc32.Update(0, crcTable, magicV2[:])
+	wantH = crc32.Update(wantH, crcTable, hdr[:])
+	wantH = crc32.Update(wantH, crcTable, name)
+	var u32 [4]byte
+	if err := cr.readFull(u32[:]); err != nil {
+		return nil, corruptf(cr.off, "reading header checksum: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(u32[:]); got != wantH {
+		return nil, corruptf(cr.off, "header checksum mismatch (stored %08x, computed %08x)", got, wantH)
+	}
+
+	t := &Trace{AppName: string(name), Procs: procs, AET: aet, Events: make([]Event, 0)}
+	var rec [recordSize]byte
+	for start := uint64(0); start < count; start += blockEvents {
+		end := start + blockEvents
+		if end > count {
+			end = count
+		}
+		blockOff := cr.off
+		var bcrc uint32
+		for i := start; i < end; i++ {
+			if uint64(cap(t.Events)) <= i {
+				t.Events = growEvents(t.Events, count)
+			}
+			if err := cr.readFull(rec[:]); err != nil {
+				return nil, corruptf(cr.off, "reading event %d of %d: %v", i, count, err)
+			}
+			bcrc = crc32.Update(bcrc, crcTable, rec[:])
+			t.Events = t.Events[:i+1]
+			getRecord(rec[:], &t.Events[i])
+		}
+		if err := cr.readFull(u32[:]); err != nil {
+			return nil, corruptf(cr.off, "reading block checksum: %v", err)
+		}
+		if got := binary.LittleEndian.Uint32(u32[:]); got != bcrc {
+			return nil, corruptf(blockOff,
+				"event block %d-%d checksum mismatch (stored %08x, computed %08x)",
+				start, end-1, got, bcrc)
+		}
+	}
+
+	var tm [8]byte
+	if err := cr.readFull(tm[:]); err != nil {
+		return nil, corruptf(cr.off, "reading trailer: %v", err)
+	}
+	if tm != trailer {
+		return nil, corruptf(cr.off-8, "bad trailer %q", tm[:])
+	}
+	wantF := cr.crc
+	if err := cr.readFull(u32[:]); err != nil {
+		return nil, corruptf(cr.off, "reading file checksum: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(u32[:]); got != wantF {
+		return nil, corruptf(cr.off, "file checksum mismatch (stored %08x, computed %08x)", got, wantF)
+	}
+	return t, nil
+}
+
+// encodeV1 writes the legacy v1 format. It exists so tests can prove
+// the migration path against freshly produced v1 bytes (the committed
+// golden file pins the historical layout).
+func encodeV1(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
@@ -43,7 +368,7 @@ func Encode(w io.Writer, t *Trace) error {
 	}
 	var hdr [24]byte
 	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(t.AppName)))
-	binary.LittleEndian.PutUint16(hdr[2:], 0) // reserved
+	binary.LittleEndian.PutUint16(hdr[2:], 0)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.Procs))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(t.Events)))
 	binary.LittleEndian.PutUint64(hdr[16:], uint64(t.AET))
@@ -55,86 +380,12 @@ func Encode(w io.Writer, t *Trace) error {
 	}
 	var rec [recordSize]byte
 	for i := range t.Events {
-		e := &t.Events[i]
-		b := rec[:]
-		le := binary.LittleEndian
-		le.PutUint64(b[0:], uint64(e.ID))
-		le.PutUint32(b[8:], uint32(e.Process))
-		le.PutUint64(b[12:], uint64(e.Number))
-		b[20] = byte(e.Kind)
-		le.PutUint32(b[21:], uint32(e.Involved))
-		b[25] = byte(e.CollOp)
-		le.PutUint32(b[26:], uint32(e.Peer))
-		le.PutUint32(b[30:], uint32(e.Tag))
-		le.PutUint64(b[34:], uint64(e.Size))
-		le.PutUint64(b[42:], uint64(e.Enter))
-		le.PutUint64(b[50:], uint64(e.Exit))
-		le.PutUint64(b[58:], uint64(e.LT))
-		le.PutUint64(b[66:], uint64(e.RelA))
-		le.PutUint64(b[74:], uint64(e.RelB))
-		le.PutUint64(b[82:], uint64(e.ComputeBefore))
-		if _, err := bw.Write(b); err != nil {
+		putRecord(rec[:], &t.Events[i])
+		if _, err := bw.Write(rec[:]); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
-}
-
-// Decode reads the binary tracefile format.
-func Decode(r io.Reader) (*Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
-	var m [8]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading magic: %w", err)
-	}
-	if m != magic {
-		return nil, fmt.Errorf("trace: bad magic %q", m[:])
-	}
-	var hdr [24]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("trace: reading header: %w", err)
-	}
-	nameLen := int(binary.LittleEndian.Uint16(hdr[0:]))
-	procs := int(binary.LittleEndian.Uint32(hdr[4:]))
-	count := binary.LittleEndian.Uint64(hdr[8:])
-	aet := vtime.Duration(binary.LittleEndian.Uint64(hdr[16:]))
-	if procs <= 0 || procs > 1<<20 {
-		return nil, fmt.Errorf("trace: implausible process count %d", procs)
-	}
-	if count > 1<<36 {
-		return nil, fmt.Errorf("trace: implausible event count %d", count)
-	}
-	name := make([]byte, nameLen)
-	if _, err := io.ReadFull(br, name); err != nil {
-		return nil, fmt.Errorf("trace: reading app name: %w", err)
-	}
-	t := &Trace{AppName: string(name), Procs: procs, AET: aet,
-		Events: make([]Event, count)}
-	var rec [recordSize]byte
-	for i := range t.Events {
-		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return nil, fmt.Errorf("trace: reading event %d: %w", i, err)
-		}
-		b := rec[:]
-		le := binary.LittleEndian
-		e := &t.Events[i]
-		e.ID = int64(le.Uint64(b[0:]))
-		e.Process = int32(le.Uint32(b[8:]))
-		e.Number = int64(le.Uint64(b[12:]))
-		e.Kind = Kind(b[20])
-		e.Involved = int32(le.Uint32(b[21:]))
-		e.CollOp = int8(b[25])
-		e.Peer = int32(le.Uint32(b[26:]))
-		e.Tag = int32(le.Uint32(b[30:]))
-		e.Size = int64(le.Uint64(b[34:]))
-		e.Enter = vtime.Time(le.Uint64(b[42:]))
-		e.Exit = vtime.Time(le.Uint64(b[50:]))
-		e.LT = int64(le.Uint64(b[58:]))
-		e.RelA = int64(le.Uint64(b[66:]))
-		e.RelB = int64(le.Uint64(b[74:]))
-		e.ComputeBefore = vtime.Duration(le.Uint64(b[82:]))
-	}
-	return t, nil
 }
 
 // EncodeJSON writes a human-readable trace, mainly for debugging and

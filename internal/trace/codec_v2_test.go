@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGoldenV1Migration proves pre-v2 archives keep loading: the
+// committed golden file was written by the v1 encoder before the
+// checksummed format existed, and must decode, validate, and survive
+// a v2 re-encode round trip bit-identically.
+func TestGoldenV1Migration(t *testing.T) {
+	raw, err := os.ReadFile("testdata/golden_v1.pas2p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(raw, magic[:]) {
+		t.Fatal("golden file is not v1 format; regenerate it with encodeV1")
+	}
+	tr, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("v1 migration decode: %v", err)
+	}
+	if tr.AppName != "cg" || tr.Procs != 8 || len(tr.Events) == 0 {
+		t.Fatalf("golden decoded to %s/%d procs/%d events", tr.AppName, tr.Procs, len(tr.Events))
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("golden trace invalid: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), magicV2[:]) {
+		t.Error("Encode no longer writes v2")
+	}
+	again, err := DecodeAny(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, tr) {
+		t.Error("v1 → v2 migration round trip mismatch")
+	}
+}
+
+// TestV1EncoderRoundTrip checks fresh v1 bytes also take the
+// migration path (not only the committed golden).
+func TestV1EncoderRoundTrip(t *testing.T) {
+	tr := fuzzTrace(t, 11, 4, 300)
+	var buf bytes.Buffer
+	if err := encodeV1(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Error("v1 round trip mismatch")
+	}
+}
+
+// TestDecodeV2DetectsCorruptionWithOffset flips one byte at every
+// position of a small v2 file and requires each flip to be rejected
+// with an error that locates itself by byte offset.
+func TestDecodeV2DetectsCorruptionWithOffset(t *testing.T) {
+	tr := fuzzTrace(t, 3, 2, 20)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for pos := 0; pos < len(raw); pos++ {
+		corrupted := append([]byte(nil), raw...)
+		corrupted[pos] ^= 0x41
+		_, err := Decode(bytes.NewReader(corrupted))
+		if err == nil {
+			t.Fatalf("flip at byte %d of %d went undetected", pos, len(raw))
+		}
+		if !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("flip at byte %d: error lacks offset: %v", pos, err)
+		}
+	}
+}
+
+// TestDecodeV2DetectsTruncation cuts the tail at every length and
+// requires a located error — torn writes must never yield a silently
+// shorter trace.
+func TestDecodeV2DetectsTruncation(t *testing.T) {
+	tr := fuzzTrace(t, 5, 2, 8)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for cut := 0; cut < len(raw); cut++ {
+		_, err := Decode(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("truncation to %d of %d bytes went undetected", cut, len(raw))
+		}
+		if !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("truncation to %d: error lacks offset: %v", cut, err)
+		}
+	}
+}
+
+// TestDecodeBoundsMaliciousHeader crafts a 32-byte v1 header claiming
+// 2^35 events: Decode must fail on the missing body without first
+// attempting a multi-terabyte allocation (chunked growth bounds the
+// damage to one eventChunk).
+func TestDecodeBoundsMaliciousHeader(t *testing.T) {
+	var b bytes.Buffer
+	b.Write(magic[:])
+	var hdr [24]byte
+	binary.LittleEndian.PutUint16(hdr[0:], 0)            // nameLen
+	binary.LittleEndian.PutUint32(hdr[4:], 1)            // procs
+	binary.LittleEndian.PutUint64(hdr[8:], 1<<35)        // count: ~3 TiB of records
+	binary.LittleEndian.PutUint64(hdr[16:], 1_000_000_0) // aet
+	b.Write(hdr[:])
+	_, err := Decode(bytes.NewReader(b.Bytes()))
+	if err == nil {
+		t.Fatal("malicious header should fail")
+	}
+	if !strings.Contains(err.Error(), "offset") {
+		t.Errorf("error lacks offset: %v", err)
+	}
+
+	// Above the plausibility cap the header itself is rejected.
+	binary.LittleEndian.PutUint64(hdr[8:], 1<<40)
+	var b2 bytes.Buffer
+	b2.Write(magic[:])
+	b2.Write(hdr[:])
+	if _, err := Decode(bytes.NewReader(b2.Bytes())); err == nil ||
+		!strings.Contains(err.Error(), "implausible event count") {
+		t.Errorf("count cap not enforced: %v", err)
+	}
+}
+
+// TestEncodedSizeMatchesV2 pins the size formula against real output
+// across block-boundary event counts.
+func TestEncodedSizeMatchesV2(t *testing.T) {
+	for _, events := range []int{0, 1, blockEvents - 1, blockEvents, blockEvents + 1, 3 * blockEvents} {
+		tr := fuzzTrace(t, int64(events)+1, 1, events)
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		if int64(buf.Len()) != EncodedSize(tr) {
+			t.Errorf("%d events: EncodedSize = %d, actual %d", events, EncodedSize(tr), buf.Len())
+		}
+	}
+}

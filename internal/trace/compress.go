@@ -463,7 +463,7 @@ func DecodeAny(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: sniffing format: %w", err)
 	}
 	switch {
-	case bytes.Equal(head, magic[:]):
+	case bytes.Equal(head, magic[:]), bytes.Equal(head, magicV2[:]):
 		return Decode(br)
 	case bytes.Equal(head, magicZ[:]):
 		return Decompress(br)

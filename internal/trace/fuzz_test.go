@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"pas2p/internal/vtime"
@@ -106,6 +107,56 @@ func FuzzCompressRoundTrip(f *testing.F) {
 			raw[pos] ^= flip | 1
 			_, _ = Decompress(bytes.NewReader(raw)) // errors allowed, panics not
 			_, _ = DecodeAny(bytes.NewReader(raw))
+		}
+	})
+}
+
+// FuzzDecodeTracefile drives the v2 checksummed codec: any generated
+// trace must round-trip exactly, and any single corrupted byte or
+// torn tail must produce an error that names a byte offset — never a
+// panic, never a silently wrong trace.
+func FuzzDecodeTracefile(f *testing.F) {
+	f.Add(int64(7), 3, 40, uint32(100), byte(0x41), uint16(0))
+	f.Add(int64(1), 1, 1, uint32(0), byte(0xff), uint16(3))
+	f.Add(int64(2), 4, 0, uint32(9), byte(1), uint16(1))
+	f.Add(int64(3), 2, 600, uint32(55555), byte(0x80), uint16(9000))
+	f.Add(int64(99), 6, 513, uint32(31), byte(7), uint16(40))
+	f.Fuzz(func(t *testing.T, seed int64, procs, events int, pos uint32, flip byte, cut uint16) {
+		if procs < 1 || procs > 8 || events < 0 || events > 1200 {
+			t.Skip("out of modelled range")
+		}
+		tr := fuzzTrace(t, seed, procs, events)
+		var buf bytes.Buffer
+		if err := Encode(&buf, tr); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatal("round trip mismatch")
+		}
+
+		raw := buf.Bytes()
+		// One corrupted byte anywhere: CRC32C catches every burst
+		// error shorter than 32 bits, so this must always be detected
+		// and located.
+		corrupted := append([]byte(nil), raw...)
+		p := int(pos) % len(corrupted)
+		corrupted[p] ^= flip | 1
+		if _, err := Decode(bytes.NewReader(corrupted)); err == nil {
+			t.Fatalf("flip at %d went undetected", p)
+		} else if !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("flip at %d: error lacks offset: %v", p, err)
+		}
+
+		// A torn tail (1..len bytes lost) must be detected and located.
+		drop := 1 + int(cut)%len(raw)
+		if _, err := Decode(bytes.NewReader(raw[:len(raw)-drop])); err == nil {
+			t.Fatalf("truncation by %d bytes went undetected", drop)
+		} else if !strings.Contains(err.Error(), "offset") {
+			t.Fatalf("truncation by %d: error lacks offset: %v", drop, err)
 		}
 	})
 }
