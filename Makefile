@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: build test race bench check cover fuzz
+# Packages whose concurrency runs under the race detector: phase and
+# logical carry the extraction parallelism, obs is written to by every
+# simulated rank, faults counters are bumped from rank goroutines,
+# sigrepo serializes concurrent writers on a lock file, and trace runs
+# the parallel block codec (encode pool, decode batch engine).
+RACE_PKGS = ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/... ./internal/trace/...
+
+.PHONY: build test race bench bench-json bench-baseline check cover fuzz
 
 build:
 	$(GO) build ./...
@@ -8,18 +15,23 @@ build:
 test:
 	$(GO) test ./...
 
-# The phase and logical stages carry the concurrency (parallel fill,
-# candidate scoring, AnalyzeAll), obs is written to by every simulated
-# rank, faults counters are bumped from rank goroutines, and sigrepo
-# serializes concurrent writers on a lock file; run them under the
-# race detector.
 race:
-	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/...
+	$(GO) test -race $(RACE_PKGS)
 
 # Seed-vs-indexed extraction comparison over the registered workloads;
 # medians over -count 3 are what README quotes.
 bench:
 	$(GO) test ./internal/phase -run xxx -bench ExtractApps -benchtime 5x -count 3
+
+# Machine-readable benchmark document: pipeline rows (table 8/9) plus
+# the block-codec worker sweep. BENCH_PR5.json is the committed copy.
+bench-json:
+	$(GO) run ./cmd/pas2p-bench -table 8 -json BENCH_PR5.json
+
+# Refresh the benchstat baseline CI compares against. Run on a quiet
+# machine; commit bench/baseline.txt with the change that moves it.
+bench-baseline:
+	$(GO) test ./internal/trace ./internal/phase -run xxx -bench . -benchtime 2x -count 3 | tee bench/baseline.txt
 
 # Statement coverage with the CI ratchet threshold.
 cover:
@@ -30,9 +42,10 @@ cover:
 fuzz:
 	$(GO) test -fuzz=FuzzCompressRoundTrip -fuzztime=10s ./internal/trace
 	$(GO) test -fuzz=FuzzDecodeTracefile -fuzztime=10s ./internal/trace
+	$(GO) test -fuzz=FuzzBlockReader -fuzztime=10s ./internal/trace
 	$(GO) test -fuzz=FuzzLogicalOrder -fuzztime=10s ./internal/logical
 
 check: build
 	$(GO) vet ./...
 	$(GO) test -shuffle=on ./...
-	$(GO) test -race ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/...
+	$(GO) test -race $(RACE_PKGS)

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"pas2p/internal/trace"
+	"pas2p/internal/vtime"
+)
+
+// codecResult is one measured (operation, workers) cell of the block
+// codec sweep: throughput over the exact on-disk byte size, plus the
+// allocator footprint testing.Benchmark observed.
+type codecResult struct {
+	Op          string  `json:"op"` // encode | decode | verify_stream | compress
+	Workers     int     `json:"workers"`
+	Events      int     `json:"events"`
+	Bytes       int64   `json:"bytes"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MBPerSecond float64 `json:"mb_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	AllocBytes  int64   `json:"alloc_bytes_per_op"`
+}
+
+// codecBenchTrace synthesises the measurement trace: a deterministic
+// mix of sends, receives and collectives across 8 ranks, sized to the
+// requested event count. Receive relations are wired to real sends so
+// the trace validates.
+func codecBenchTrace(events int) *trace.Trace {
+	const procs = 8
+	rng := rand.New(rand.NewSource(1234))
+	per := events / procs
+	streams := make([][]trace.Event, procs)
+	for p := 0; p < procs; p++ {
+		n := per
+		if p < events%procs {
+			n++
+		}
+		rec := trace.NewRecorder(p)
+		var tp vtime.Time
+		for i := 0; i < n; i++ {
+			tp += vtime.Time(rng.Intn(2000) + 1)
+			ev := trace.Event{
+				Kind: trace.Collective, Involved: procs, CollOp: 2, Peer: -1,
+				Tag: int32(i % 8), Size: int64(rng.Intn(1 << 14)),
+				Enter: tp, Exit: tp + vtime.Time(rng.Intn(200)),
+			}
+			switch i % 3 {
+			case 0:
+				ev.Kind = trace.Send
+				ev.Peer = int32((p + 1) % procs)
+				ev.CollOp = -1
+				ev.RelA, ev.RelB = int64(p), int64(i)
+			case 1:
+				// Receive the send rank p-1 issued at the same index.
+				ev.Kind = trace.Recv
+				ev.Peer = int32((p + procs - 1) % procs)
+				ev.CollOp = -1
+				ev.RelA, ev.RelB = int64((p+procs-1)%procs), int64(i-1)
+			}
+			rec.Record(ev)
+		}
+		streams[p] = rec.Events()
+	}
+	tr, err := trace.NewTrace("codec-bench", procs, streams, 5e9)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// runCodecBench sweeps the block codec across worker counts on one
+// synthetic trace, using testing.Benchmark for stable ns/op and
+// alloc accounting. Output bytes are identical at every worker count,
+// so the MB/s columns compare directly.
+func runCodecBench(events int, workerCounts []int) ([]codecResult, error) {
+	tr := codecBenchTrace(events)
+	var enc bytes.Buffer
+	if err := trace.Encode(&enc, tr); err != nil {
+		return nil, err
+	}
+	encoded := enc.Bytes()
+	var comp bytes.Buffer
+	if err := trace.Compress(&comp, tr); err != nil {
+		return nil, err
+	}
+
+	cell := func(op string, workers int, size int64, f func(b *testing.B)) codecResult {
+		r := testing.Benchmark(f)
+		mbps := 0.0
+		if ns := r.NsPerOp(); ns > 0 {
+			mbps = float64(size) / (float64(ns) / 1e9) / 1e6
+		}
+		return codecResult{
+			Op: op, Workers: workers, Events: len(tr.Events), Bytes: size,
+			NsPerOp: r.NsPerOp(), MBPerSecond: mbps,
+			AllocsPerOp: r.AllocsPerOp(), AllocBytes: r.AllocedBytesPerOp(),
+		}
+	}
+
+	var out []codecResult
+	for _, w := range workerCounts {
+		opts := trace.CodecOptions{Workers: w}
+		out = append(out, cell("encode", w, int64(len(encoded)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := trace.EncodeWith(io.Discard, tr, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		out = append(out, cell("decode", w, int64(len(encoded)), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.DecodeWith(bytes.NewReader(encoded), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		out = append(out, cell("compress", w, int64(comp.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := trace.CompressWith(io.Discard, tr, trace.CompressOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+	// The streaming verification pass is sequential by nature; one cell.
+	out = append(out, cell("verify_stream", 1, int64(len(encoded)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.VerifyStream(bytes.NewReader(encoded)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	return out, nil
+}

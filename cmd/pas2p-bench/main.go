@@ -28,7 +28,8 @@ func main() {
 	scale := flag.Int("scale", 1, "divide process counts by this factor (1 = paper scale)")
 	overhead := flag.Duration("overhead", 8*time.Microsecond, "per-event instrumentation overhead")
 	par := flag.Bool("parallel", false, "fan phase extraction out over the CPUs")
-	jsonOut := flag.String("json", "", "write the table 8/9 rows as machine-readable benchmark JSON")
+	jsonOut := flag.String("json", "", "write the table 8/9 rows plus the block-codec sweep as machine-readable benchmark JSON")
+	codecEvents := flag.Int("codec-events", 1_000_000, "event count for the codec sweep recorded in -json output")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	flag.Parse()
@@ -96,7 +97,12 @@ func main() {
 				report.Table9(w, rows)
 			}
 			if *jsonOut != "" {
-				if err := writeBenchJSON(*jsonOut, rows); err != nil {
+				fmt.Fprintf(w, "running block-codec sweep (%d events)...\n", *codecEvents)
+				codec, err := runCodecBench(*codecEvents, []int{1, 2, 4, 8})
+				if err != nil {
+					return err
+				}
+				if err := writeBenchJSON(*jsonOut, rows, codec); err != nil {
 					return err
 				}
 				fmt.Fprintf(w, "benchmark rows written to %s\n", *jsonOut)
@@ -136,10 +142,31 @@ type benchRow struct {
 	PETEPercent float64 `json:"pete_percent"`
 }
 
-func writeBenchJSON(path string, rows []report.PerfRow) error {
-	out := make([]benchRow, 0, len(rows))
+// benchDoc is the combined -json document: the environment the numbers
+// were taken on, the pipeline rows, and the block-codec sweep. Absolute
+// throughput depends on the host — cpus says how much parallel speedup
+// was even available.
+type benchDoc struct {
+	Host struct {
+		GoVersion string `json:"go_version"`
+		GOOS      string `json:"goos"`
+		GOARCH    string `json:"goarch"`
+		CPUs      int    `json:"cpus"`
+	} `json:"host"`
+	Pipeline []benchRow    `json:"pipeline"`
+	Codec    []codecResult `json:"codec"`
+}
+
+func writeBenchJSON(path string, rows []report.PerfRow, codec []codecResult) error {
+	var doc benchDoc
+	doc.Host.GoVersion = runtime.Version()
+	doc.Host.GOOS = runtime.GOOS
+	doc.Host.GOARCH = runtime.GOARCH
+	doc.Host.CPUs = runtime.NumCPU()
+	doc.Codec = codec
+	doc.Pipeline = make([]benchRow, 0, len(rows))
 	for _, r := range rows {
-		out = append(out, benchRow{
+		doc.Pipeline = append(doc.Pipeline, benchRow{
 			App: r.App, Ranks: r.Procs,
 			NsPerOp: r.WallNS, AllocBytes: r.AllocBytes,
 			PETSeconds:  r.Outcome.PET.Seconds(),
@@ -153,7 +180,7 @@ func writeBenchJSON(path string, rows []report.PerfRow) error {
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", " ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(&doc); err != nil {
 		f.Close()
 		return err
 	}

@@ -91,6 +91,7 @@ func cmdTrace(args []string) error {
 	out := fs.String("o", "", "output tracefile (default <app>.pas2p)")
 	asJSON := fs.Bool("json", false, "write JSON instead of the binary format")
 	compress := fs.Bool("z", false, "write the compressed tracefile format")
+	parallel := fs.Int("parallel", 0, "codec workers for encode/compress (0 = all CPUs, 1 = serial; output is byte-identical)")
 	overhead := fs.Duration("overhead", 0, "per-event instrumentation overhead (virtual), e.g. 8us")
 	if err := parseArgs(fs, args); err != nil {
 		return err
@@ -122,9 +123,9 @@ func cmdTrace(args []string) error {
 		case *asJSON:
 			return trace.EncodeJSON(w, res.Trace)
 		case *compress:
-			return trace.Compress(w, res.Trace)
+			return trace.CompressWith(w, res.Trace, trace.CompressOptions{Workers: *parallel})
 		default:
-			return trace.Encode(w, res.Trace)
+			return trace.EncodeWith(w, res.Trace, trace.CodecOptions{Workers: *parallel})
 		}
 	})
 	if err != nil {
@@ -147,7 +148,7 @@ func cmdAnalyze(args []string) error {
 	eventSim := fs.Float64("event-similarity", 0.80, "fraction of similar events required")
 	compSim := fs.Float64("compute-similarity", 0.85, "compute-time similarity ratio")
 	relevance := fs.Float64("relevance", 0.01, "relevant-phase AET fraction")
-	par := fs.Bool("parallel", false, "fan phase extraction out over the CPUs")
+	par := fs.Bool("parallel", false, "fan phase extraction out over the CPUs (tracefile decode is always parallel; see 'trace -parallel')")
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot (stage spans, counters) as JSON")
 	timelineOut := fs.String("timeline", "", "write a Chrome trace-event timeline of the tracefile")
 	promOut := fs.String("prom", "", "also write the metrics in Prometheus text format")
@@ -175,7 +176,7 @@ func cmdAnalyze(args []string) error {
 		return err
 	}
 	defer f.Close()
-	tr, err := trace.DecodeAny(f)
+	tr, err := trace.DecodeAnyWith(f, trace.CodecOptions{Reg: o.Reg()})
 	if err != nil {
 		return err
 	}

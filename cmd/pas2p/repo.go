@@ -35,6 +35,7 @@ func cmdRepo(args []string) error {
 	target := fs.String("target", "B", "target cluster (for predict)")
 	cores := fs.Int("cores", 0, "restrict the target to this many cores")
 	verify := fs.Bool("verify", false, "after add, re-read the entry and verify its checksums")
+	keepTrace := fs.Bool("keep-trace", false, "also store the traced run's tracefile in the repository (for add)")
 	if err := parseArgs(fs, rest); err != nil {
 		return err
 	}
@@ -86,9 +87,23 @@ func cmdRepo(args []string) error {
 		}
 		fmt.Printf("added %s (%d relevant phases, SCT %.2fs) -> %s\n",
 			*app, len(tb.RelevantRows()), br.SCT.Seconds(), path)
+		if *keepTrace {
+			tpath, err := repo.AddTrace(traced.Trace, wl)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("stored tracefile (%d events) -> %s\n", len(traced.Trace.Events), tpath)
+		}
 		if *verify {
 			if _, err := repo.Lookup(*app, *procs, wl); err != nil {
 				return fmt.Errorf("repo add -verify: %w", err)
+			}
+			if *keepTrace {
+				// Streaming verification: every block CRC and the file
+				// CRC are checked without materialising the events.
+				if _, err := repo.LookupTrace(*app, *procs, wl); err != nil {
+					return fmt.Errorf("repo add -verify: %w", err)
+				}
 			}
 			fmt.Println("verified: entry re-read and checksums hold")
 		}
@@ -99,7 +114,22 @@ func cmdRepo(args []string) error {
 		if err != nil {
 			return err
 		}
-		if len(entries) == 0 && len(problems) == 0 {
+		traces, tProblems, err := repo.ListTraces()
+		if err != nil {
+			return err
+		}
+		// Manifest-level problems surface from both scans identically;
+		// report each once.
+		seen := make(map[string]bool, len(problems))
+		for _, p := range problems {
+			seen[p.String()] = true
+		}
+		for _, p := range tProblems {
+			if !seen[p.String()] {
+				problems = append(problems, p)
+			}
+		}
+		if len(entries) == 0 && len(traces) == 0 && len(problems) == 0 {
 			fmt.Println("repository is empty")
 			return nil
 		}
@@ -111,6 +141,15 @@ func cmdRepo(args []string) error {
 					e.Saved.AppName, e.Saved.Procs, e.Saved.Workload,
 					e.Saved.BaseCluster, e.Saved.BaseISA,
 					len(e.Saved.Table.RelevantRows()), e.Saved.Table.TotalPhases)
+			}
+		}
+		if len(traces) > 0 {
+			fmt.Printf("\n%-14s %-7s %-24s %-12s %s\n",
+				"TRACE", "PROCS", "WORKLOAD", "EVENTS", "AET")
+			for _, te := range traces {
+				fmt.Printf("%-14s %-7d %-24s %-12d %.2fs\n",
+					te.Meta.AppName, te.Meta.Procs, te.Workload,
+					te.Meta.Events, te.Meta.AET.Seconds())
 			}
 		}
 		for _, p := range problems {

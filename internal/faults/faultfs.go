@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"fmt"
 	"hash/fnv"
+	"io"
 	iofs "io/fs"
 	"path/filepath"
 	"sort"
@@ -105,6 +106,10 @@ func NewFaultFS(inner fsx.FS, cfg FSConfig) (*FaultFS, error) {
 func (f *FaultFS) MkdirAll(dir string, perm iofs.FileMode) error { return f.inner.MkdirAll(dir, perm) }
 
 func (f *FaultFS) ReadFile(name string) ([]byte, error) { return f.inner.ReadFile(name) }
+
+// Open passes through: the injector models write-path faults, and the
+// damage it scheduled is already baked into the bytes on disk.
+func (f *FaultFS) Open(name string) (io.ReadCloser, error) { return f.inner.Open(name) }
 
 func (f *FaultFS) ReadDir(dir string) ([]iofs.DirEntry, error) { return f.inner.ReadDir(dir) }
 

@@ -43,6 +43,10 @@ type FS interface {
 	CreateExclusive(name string) (File, error)
 	// ReadFile returns a file's full content.
 	ReadFile(name string) ([]byte, error)
+	// Open opens a file for streaming reads; large artefacts
+	// (tracefiles) are verified block-by-block through this handle
+	// instead of being slurped whole via ReadFile.
+	Open(name string) (io.ReadCloser, error)
 	// ReadDir lists a directory.
 	ReadDir(dir string) ([]iofs.DirEntry, error)
 	// Rename atomically replaces newpath with oldpath.
@@ -67,6 +71,8 @@ func (OS) CreateExclusive(name string) (File, error) {
 }
 
 func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
 
 func (OS) ReadDir(dir string) ([]iofs.DirEntry, error) { return os.ReadDir(dir) }
 

@@ -23,6 +23,10 @@ type manifestEntry struct {
 	Workload string `json:"workload"`
 	SHA256   string `json:"sha256"`
 	Size     int64  `json:"size"`
+	// Kind distinguishes artefact types: empty for signatures (the
+	// original journal format, kept for compatibility) and "trace" for
+	// stored tracefiles.
+	Kind string `json:"kind,omitempty"`
 }
 
 // manifest is the repository journal: filename → entry metadata. It

@@ -212,28 +212,32 @@ func (p Problem) String() string {
 	return fmt.Sprintf("%s: %s", p.Kind, p.Path)
 }
 
-// scanNames lists the repository's entry filenames, sorted.
-func (r *Repo) scanNames() ([]string, []string, error) {
+// scanNames lists the repository's signature, tracefile and stray
+// temp filenames, each sorted.
+func (r *Repo) scanNames() ([]string, []string, []string, error) {
 	ents, err := r.fs.ReadDir(r.dir)
 	if err != nil {
-		return nil, nil, fmt.Errorf("sigrepo: scanning %s: %w", r.dir, err)
+		return nil, nil, nil, fmt.Errorf("sigrepo: scanning %s: %w", r.dir, err)
 	}
-	var names, temps []string
+	var names, traces, temps []string
 	for _, e := range ents {
 		if e.IsDir() {
 			continue
 		}
 		n := e.Name()
 		switch {
-		case strings.HasSuffix(n, sigSuffix) && !strings.HasPrefix(n, tmpPrefix):
-			names = append(names, n)
 		case strings.HasPrefix(n, tmpPrefix):
 			temps = append(temps, n)
+		case strings.HasSuffix(n, sigSuffix):
+			names = append(names, n)
+		case strings.HasSuffix(n, traceSuffix):
+			traces = append(traces, n)
 		}
 	}
 	sort.Strings(names)
+	sort.Strings(traces)
 	sort.Strings(temps)
-	return names, temps, nil
+	return names, traces, temps, nil
 }
 
 // verifyEntry reads and fully verifies one entry: the embedded
@@ -269,7 +273,7 @@ func (r *Repo) verifyEntry(name string, m *manifest) (*Entry, *Problem) {
 // degrade gracefully: they are reported, never returned, and never
 // fail the listing.
 func (r *Repo) List() ([]Entry, []Problem, error) {
-	names, temps, err := r.scanNames()
+	names, traces, temps, err := r.scanNames()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -295,8 +299,13 @@ func (r *Repo) List() ([]Entry, []Problem, error) {
 		}
 	}
 	if m != nil {
-		have := make(map[string]bool, len(names))
+		have := make(map[string]bool, len(names)+len(traces))
 		for _, n := range names {
+			have[n] = true
+		}
+		// Trace entries share the journal; their files are verified by
+		// ListTraces, but their presence matters for orphan detection.
+		for _, n := range traces {
 			have[n] = true
 		}
 		for _, n := range sortedKeys(m.Entries) {

@@ -2,6 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
+	"io"
+	"sync"
 	"testing"
 
 	"pas2p/internal/vtime"
@@ -91,6 +94,103 @@ func BenchmarkCompress(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(flat.Len())/float64(buf.Len()), "ratio")
+}
+
+// largeBenchTrace lazily builds the shared 1M-event trace (and its
+// encoding) the parallel benchmarks measure against. Building it once
+// keeps `go test -bench` setup time flat across sub-benchmarks.
+var largeBench struct {
+	once sync.Once
+	tr   *Trace
+	enc  []byte
+}
+
+func largeBenchTrace(b *testing.B) (*Trace, []byte) {
+	b.Helper()
+	largeBench.once.Do(func() {
+		largeBench.tr = syntheticTrace(1_000_000)
+		var buf bytes.Buffer
+		if err := Encode(&buf, largeBench.tr); err != nil {
+			panic(err)
+		}
+		largeBench.enc = buf.Bytes()
+	})
+	return largeBench.tr, largeBench.enc
+}
+
+// benchWorkerCounts are the parallelism levels the codec benchmarks
+// sweep; the acceptance target is workers=8 >= 2x workers=1 on an
+// 8-core host for the 1M-event trace.
+var benchWorkerCounts = []int{1, 2, 4, 8}
+
+// BenchmarkEncodeParallel measures block-engine serialisation
+// throughput on a 1M-event trace across worker counts. Output bytes
+// are identical at every setting, so MB/s is directly comparable.
+func BenchmarkEncodeParallel(b *testing.B) {
+	tr, _ := largeBenchTrace(b)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("events=1M/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(EncodedSize(tr))
+			for i := 0; i < b.N; i++ {
+				if err := EncodeWith(io.Discard, tr, CodecOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDecodeParallel measures block verification +
+// deserialisation throughput on the same 1M-event tracefile.
+func BenchmarkDecodeParallel(b *testing.B) {
+	_, enc := largeBenchTrace(b)
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("events=1M/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(enc)))
+			for i := 0; i < b.N; i++ {
+				if _, err := DecodeWith(bytes.NewReader(enc), CodecOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifyStream measures the streaming checksum pass `repo
+// fsck` runs: full detection strength without materialising events.
+func BenchmarkVerifyStream(b *testing.B) {
+	_, enc := largeBenchTrace(b)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := VerifyStream(bytes.NewReader(enc)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompressParallel measures the ScalaTrace-style codec across
+// worker counts on a wide repetitive trace (per-process sections are
+// the parallel unit, so procs bounds the useful worker count).
+func BenchmarkCompressParallel(b *testing.B) {
+	tr := repetitiveTrace(b, 8, 500)
+	var flat bytes.Buffer
+	if err := Encode(&flat, tr); err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range benchWorkerCounts {
+		b.Run(fmt.Sprintf("procs=8/workers=%d", w), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(flat.Len()))
+			for i := 0; i < b.N; i++ {
+				if err := CompressWith(io.Discard, tr, CompressOptions{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkCompressionRatio reports the achieved ratio on the

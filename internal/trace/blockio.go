@@ -1,0 +1,891 @@
+package trace
+
+// The parallel block engine behind the v2 tracefile codec, plus the
+// streaming block API.
+//
+// The v2 layout (see codec.go) already splits the event stream into
+// independent fixed-size record blocks, each carrying its own CRC32C:
+// records are exactly recordSize bytes, so every block's byte extent
+// is computable up front and blocks can be serialised, checksummed and
+// deserialised on a worker pool with bit-identical output — the same
+// move the fingerprint-indexed phase matcher made for extraction. Only
+// two things stay serial: the byte stream itself (blocks are written
+// and read in file order) and the whole-file CRC, which is a single
+// hardware-accelerated crc32.Update per ~45 KiB block and nowhere near
+// the bottleneck (per-record serialisation is).
+//
+// Three entry layers share the machinery:
+//
+//   - Encode/Decode (codec.go) delegate here with CodecOptions{}, so
+//     every existing caller gets the parallel engine and its pooled
+//     scratch buffers without signature changes;
+//   - EncodeWith/DecodeWith expose the Workers knob and an optional
+//     obs.Registry for the codec.* counters;
+//   - BlockWriter/BlockReader/VerifyStream stream traces block by
+//     block, so consumers (analyze, repo fsck) can verify or fold over
+//     a tracefile without materialising the whole []Event twice.
+//
+// Corruption reporting is bit-compatible with the serial codec: the
+// engine reads block bytes in file order and resolves errors to the
+// lowest-offset failure, so a corrupted or truncated file produces the
+// exact error string at every parallelism level (the determinism
+// property tests pin this).
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pas2p/internal/obs"
+	"pas2p/internal/vtime"
+)
+
+// blockBytes is the byte extent of a full block's records (the block's
+// on-disk size is blockBytes+4 for the trailing CRC).
+const blockBytes = blockEvents * recordSize
+
+// maxBatchBlocks bounds how many blocks a parallel Decode reads ahead
+// of the deserialising workers, capping in-flight scratch memory at
+// maxBatchBlocks * (blockBytes+4) ≈ 5.6 MiB.
+const maxBatchBlocks = 128
+
+// Meta is a tracefile's header: everything about the trace except the
+// events themselves. The streaming readers surface it before any event
+// is materialised.
+type Meta struct {
+	AppName string
+	Procs   int
+	Events  uint64
+	AET     vtime.Duration
+}
+
+// CodecOptions tunes the block engine. The zero value is what Encode
+// and Decode use: automatic worker count, no metrics.
+type CodecOptions struct {
+	// Workers is the block worker count: 0 (or negative) selects
+	// GOMAXPROCS, 1 forces the serial path. Output bytes, decoded
+	// traces and corruption errors are identical at every setting.
+	Workers int
+	// Reg, when non-nil, receives codec.* counters (blocks, bytes,
+	// wall ns, CRC ns) and worker-utilization gauges.
+	Reg *obs.Registry
+}
+
+// workerCount resolves the Workers knob against the host.
+func (o CodecOptions) workerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// codecMetrics accumulates one operation's counters locally (atomics,
+// touched by workers) and publishes them on completion. A nil
+// *codecMetrics is the "not measuring" value and costs nothing.
+type codecMetrics struct {
+	reg     *obs.Registry
+	op      string // "encode" or "decode"
+	workers int
+	start   time.Time
+	blocks  atomic.Int64
+	bytes   atomic.Int64
+	crcNS   atomic.Int64
+	busyNS  atomic.Int64
+}
+
+func newCodecMetrics(reg *obs.Registry, op string, workers int) *codecMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &codecMetrics{reg: reg, op: op, workers: workers, start: time.Now()}
+}
+
+// block records one processed block's size, and the CRC time when t0
+// was taken (callers skip the clock entirely on the nil path).
+func (m *codecMetrics) block(n int, crcStart time.Time) {
+	if m == nil {
+		return
+	}
+	m.blocks.Add(1)
+	m.bytes.Add(int64(n))
+	m.crcNS.Add(time.Since(crcStart).Nanoseconds())
+}
+
+// publish flushes the counters into the registry.
+func (m *codecMetrics) publish() {
+	if m == nil {
+		return
+	}
+	wall := time.Since(m.start).Nanoseconds()
+	p := "codec." + m.op
+	m.reg.Counter(p + ".blocks").Add(m.blocks.Load())
+	m.reg.Counter(p + ".bytes").Add(m.bytes.Load())
+	m.reg.Counter(p + ".crc_ns").Add(m.crcNS.Load())
+	m.reg.Counter(p + ".wall_ns").Add(wall)
+	m.reg.Gauge(p + ".workers").Set(float64(m.workers))
+	if m.workers > 1 && wall > 0 {
+		m.reg.Gauge(p + ".worker_util").Set(float64(m.busyNS.Load()) / float64(wall*int64(m.workers)))
+	}
+}
+
+// encodeBlock serialises events into b (records followed by the block
+// CRC) and returns the filled prefix. b must have cap >=
+// len(events)*recordSize+4.
+func encodeBlock(b []byte, events []Event, m *codecMetrics) []byte {
+	n := len(events) * recordSize
+	b = b[:n+4]
+	for i := range events {
+		putRecord(b[i*recordSize:], &events[i])
+	}
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	crc := crc32.Update(0, crcTable, b[:n])
+	binary.LittleEndian.PutUint32(b[n:], crc)
+	m.block(n+4, t0)
+	return b
+}
+
+// encJob carries one block through the encode pool. The job owns its
+// scratch buffer for life, so a recycled job allocates nothing.
+type encJob struct {
+	events []Event
+	buf    []byte
+	ready  chan struct{} // signalled (cap 1) when buf is filled
+}
+
+var encJobPool = sync.Pool{New: func() any {
+	return &encJob{buf: make([]byte, 0, blockBytes+4), ready: make(chan struct{}, 1)}
+}}
+
+// encEngine is the ordered worker pool behind a parallel BlockWriter:
+// blocks enter in file order, workers serialise and CRC them
+// concurrently, and a single writer goroutine drains them back in file
+// order so the byte stream (and the serially accumulated whole-file
+// CRC) is identical to the serial path's.
+type encEngine struct {
+	jobs    chan *encJob // workers consume
+	order   chan *encJob // writer drains, in submission order
+	done    chan struct{}
+	writeMu sync.Mutex // guards err across writer goroutine and finish
+	err     error
+	cw      *crcWriter
+	m       *codecMetrics
+}
+
+func newEncEngine(cw *crcWriter, workers int, m *codecMetrics) *encEngine {
+	inflight := workers * 4
+	e := &encEngine{
+		jobs:  make(chan *encJob, inflight),
+		order: make(chan *encJob, inflight),
+		done:  make(chan struct{}),
+		cw:    cw,
+		m:     m,
+	}
+	for w := 0; w < workers; w++ {
+		go e.worker()
+	}
+	go e.writer()
+	return e
+}
+
+func (e *encEngine) worker() {
+	var busy time.Duration
+	for j := range e.jobs {
+		var t0 time.Time
+		if e.m != nil {
+			t0 = time.Now()
+		}
+		j.buf = encodeBlock(j.buf[:0], j.events, e.m)
+		if e.m != nil {
+			busy += time.Since(t0)
+		}
+		j.ready <- struct{}{}
+	}
+	if e.m != nil {
+		e.m.busyNS.Add(busy.Nanoseconds())
+	}
+}
+
+func (e *encEngine) writer() {
+	for j := range e.order {
+		<-j.ready
+		if e.err == nil {
+			if err := e.cw.write(j.buf); err != nil {
+				e.writeMu.Lock()
+				e.err = err
+				e.writeMu.Unlock()
+			}
+		}
+		j.events = nil
+		encJobPool.Put(j)
+	}
+	close(e.done)
+}
+
+// submit enqueues one block. The events slice is retained until the
+// block is written, so callers must not mutate it before finish.
+func (e *encEngine) submit(events []Event) {
+	j := encJobPool.Get().(*encJob)
+	j.events = events
+	e.order <- j // before jobs: the order channel's backpressure bounds in-flight memory
+	e.jobs <- j
+}
+
+// finish closes the pool, waits for the writer to drain, and returns
+// the first write error.
+func (e *encEngine) finish() error {
+	close(e.jobs)
+	close(e.order)
+	<-e.done
+	e.writeMu.Lock()
+	defer e.writeMu.Unlock()
+	return e.err
+}
+
+// BlockWriter streams a tracefile out block by block in the exact v2
+// byte format. The header (including the event count) is written up
+// front, so the total event count must be declared in Meta; Close
+// fails if the appended events do not match it. With Workers > 1 the
+// blocks are serialised and checksummed on a worker pool.
+type BlockWriter struct {
+	cw      *crcWriter
+	meta    Meta
+	m       *codecMetrics
+	eng     *encEngine // nil on the serial path
+	scratch []byte     // serial path's block buffer
+	pend    []Event    // partial trailing block
+	written uint64
+	closed  bool
+}
+
+// NewBlockWriter writes the v2 prefix (magic, header, app name, header
+// CRC) and returns a writer for the event blocks.
+func NewBlockWriter(w io.Writer, meta Meta, opts CodecOptions) (*BlockWriter, error) {
+	if len(meta.AppName) > 0xffff {
+		return nil, fmt.Errorf("trace: app name too long")
+	}
+	workers := opts.workerCount()
+	if meta.Events < 4*blockEvents {
+		workers = 1 // pool spin-up costs more than a few blocks
+	}
+	m := newCodecMetrics(opts.Reg, "encode", workers)
+	cw := &crcWriter{w: bufio.NewWriterSize(w, 1<<16)}
+	if err := cw.write(magicV2[:]); err != nil {
+		return nil, err
+	}
+	var hdr [24]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(meta.AppName)))
+	binary.LittleEndian.PutUint16(hdr[2:], 0) // reserved
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(meta.Procs))
+	binary.LittleEndian.PutUint64(hdr[8:], meta.Events)
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(meta.AET))
+	if err := cw.write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if err := cw.write([]byte(meta.AppName)); err != nil {
+		return nil, err
+	}
+	hcrc := crc32.Update(0, crcTable, magicV2[:])
+	hcrc = crc32.Update(hcrc, crcTable, hdr[:])
+	hcrc = crc32.Update(hcrc, crcTable, []byte(meta.AppName))
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], hcrc)
+	if err := cw.write(u32[:]); err != nil {
+		return nil, err
+	}
+	bw := &BlockWriter{cw: cw, meta: meta, m: m}
+	if workers > 1 {
+		bw.eng = newEncEngine(cw, workers, m)
+	} else {
+		bw.scratch = make([]byte, 0, blockBytes+4)
+	}
+	return bw, nil
+}
+
+// emit writes one complete block (the trace's final block may be
+// short). With a pool engine the slice is retained until Close.
+func (bw *BlockWriter) emit(events []Event) error {
+	if bw.eng != nil {
+		bw.eng.submit(events)
+		return nil
+	}
+	bw.scratch = encodeBlock(bw.scratch[:0], events, bw.m)
+	return bw.cw.write(bw.scratch)
+}
+
+// Append adds events to the stream. Full blocks are emitted (and, in
+// parallel mode, may alias the argument until Close returns); the
+// remainder is buffered for the next Append or Close.
+func (bw *BlockWriter) Append(events []Event) error {
+	bw.written += uint64(len(events))
+	if bw.written > bw.meta.Events {
+		return fmt.Errorf("trace: block writer: %d events appended, header declared %d", bw.written, bw.meta.Events)
+	}
+	if len(bw.pend) > 0 {
+		take := blockEvents - len(bw.pend)
+		if take > len(events) {
+			take = len(events)
+		}
+		bw.pend = append(bw.pend, events[:take]...)
+		events = events[take:]
+		if len(bw.pend) < blockEvents {
+			return nil
+		}
+		if err := bw.emit(bw.pend); err != nil {
+			return err
+		}
+		bw.pend = make([]Event, 0, blockEvents) // previous block may still be in flight
+	}
+	for len(events) >= blockEvents {
+		if err := bw.emit(events[:blockEvents]); err != nil {
+			return err
+		}
+		events = events[blockEvents:]
+	}
+	if len(events) > 0 {
+		if bw.pend == nil {
+			bw.pend = make([]Event, 0, blockEvents)
+		}
+		bw.pend = append(bw.pend, events...)
+	}
+	return nil
+}
+
+// Close flushes the trailing partial block, the trailer and the
+// whole-file CRC. It fails if fewer events were appended than the
+// header declared.
+func (bw *BlockWriter) Close() error {
+	if bw.closed {
+		return nil
+	}
+	bw.closed = true
+	var err error
+	if bw.written != bw.meta.Events {
+		err = fmt.Errorf("trace: block writer: %d events appended, header declared %d", bw.written, bw.meta.Events)
+	}
+	if err == nil && len(bw.pend) > 0 {
+		err = bw.emit(bw.pend)
+		bw.pend = nil
+	}
+	if bw.eng != nil {
+		if ferr := bw.eng.finish(); err == nil {
+			err = ferr
+		}
+		bw.eng = nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := bw.cw.write(trailer[:]); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	binary.LittleEndian.PutUint32(u32[:], bw.cw.crc)
+	if err := bw.cw.write(u32[:]); err != nil {
+		return err
+	}
+	if err := bw.cw.w.Flush(); err != nil {
+		return err
+	}
+	bw.m.publish()
+	return nil
+}
+
+// EncodeWith writes the current (v2, checksummed) binary tracefile
+// format through the block engine with explicit options. The output is
+// byte-identical at every worker count.
+func EncodeWith(w io.Writer, t *Trace, opts CodecOptions) error {
+	bw, err := NewBlockWriter(w, Meta{
+		AppName: t.AppName, Procs: t.Procs,
+		Events: uint64(len(t.Events)), AET: t.AET,
+	}, opts)
+	if err != nil {
+		return err
+	}
+	if err := bw.Append(t.Events); err != nil {
+		return err
+	}
+	return bw.Close()
+}
+
+// ---------------------------------------------------------------------
+// Decode side.
+
+// blockExtent describes one block's position in the file and the event
+// index range it covers.
+type blockExtent struct {
+	start, end uint64 // event indices [start, end)
+	off        int64  // byte offset of the block's first record
+}
+
+// readBlock reads one block's bytes (records + CRC) into buf through
+// the offset/CRC-tracking reader, reproducing the serial codec's
+// truncation errors: the failing unit (a specific record, or the block
+// checksum) and the byte offset are recovered from the partial length.
+func readBlock(cr *crcReader, buf []byte, ext blockExtent, total uint64) error {
+	err := cr.readFull(buf)
+	if err == nil {
+		return nil
+	}
+	n := cr.off - ext.off // bytes of this block actually consumed
+	recBytes := int64(ext.end-ext.start) * recordSize
+	unitPartial := n % recordSize
+	failing := ext.start + uint64(n)/uint64(recordSize)
+	if n >= recBytes {
+		unitPartial = n - recBytes
+	}
+	// io.ReadFull reported on the whole chunk; re-map EOF flavours to
+	// the failing unit the serial record-at-a-time reader would have
+	// seen. Non-EOF reader errors pass through untouched.
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		if unitPartial == 0 {
+			err = io.EOF
+		} else {
+			err = io.ErrUnexpectedEOF
+		}
+	}
+	if n >= recBytes {
+		return corruptf(cr.off, "reading block checksum: %v", err)
+	}
+	return corruptf(cr.off, "reading event %d of %d: %v", failing, total, err)
+}
+
+// verifyAndDecodeBlock checks the block CRC and, unless verifyOnly,
+// deserialises the records into dst (dst[i] receives record i).
+func verifyAndDecodeBlock(buf []byte, ext blockExtent, dst []Event, verifyOnly bool, m *codecMetrics) error {
+	recBytes := int(ext.end-ext.start) * recordSize
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	bcrc := crc32.Update(0, crcTable, buf[:recBytes])
+	m.block(recBytes+4, t0)
+	if got := binary.LittleEndian.Uint32(buf[recBytes:]); got != bcrc {
+		return corruptf(ext.off,
+			"event block %d-%d checksum mismatch (stored %08x, computed %08x)",
+			ext.start, ext.end-1, got, bcrc)
+	}
+	if !verifyOnly {
+		for i := 0; i < int(ext.end-ext.start); i++ {
+			getRecord(buf[i*recordSize:], &dst[i])
+		}
+	}
+	return nil
+}
+
+// decJob carries one read block to the deserialising workers. Like
+// encJob, the job owns its buffer.
+type decJob struct {
+	buf []byte
+	ext blockExtent
+	dst []Event
+	wg  *sync.WaitGroup
+}
+
+var decJobPool = sync.Pool{New: func() any {
+	return &decJob{buf: make([]byte, 0, blockBytes+4)}
+}}
+
+// decEngine fans block verification + deserialisation out. Destination
+// regions are disjoint slices of the final events array, so workers
+// never contend; errors are resolved to the lowest block start, which
+// is exactly the error the serial path reports first.
+type decEngine struct {
+	jobs chan *decJob
+	m    *codecMetrics
+
+	errMu    sync.Mutex
+	errStart uint64
+	err      error
+}
+
+func newDecEngine(workers int, m *codecMetrics) *decEngine {
+	e := &decEngine{jobs: make(chan *decJob, maxBatchBlocks), m: m}
+	for w := 0; w < workers; w++ {
+		go e.worker()
+	}
+	return e
+}
+
+func (e *decEngine) worker() {
+	var busy time.Duration
+	for j := range e.jobs {
+		var t0 time.Time
+		if e.m != nil {
+			t0 = time.Now()
+		}
+		if err := verifyAndDecodeBlock(j.buf, j.ext, j.dst, false, e.m); err != nil {
+			e.record(j.ext.start, err)
+		}
+		if e.m != nil {
+			busy += time.Since(t0)
+		}
+		j.wg.Done()
+		j.dst = nil
+		decJobPool.Put(j)
+	}
+	if e.m != nil {
+		e.m.busyNS.Add(busy.Nanoseconds())
+	}
+}
+
+// record keeps the error of the lowest-starting failed block.
+func (e *decEngine) record(start uint64, err error) {
+	e.errMu.Lock()
+	if e.err == nil || start < e.errStart {
+		e.err, e.errStart = err, start
+	}
+	e.errMu.Unlock()
+}
+
+// firstError returns the winning error and its block-start index.
+func (e *decEngine) firstError() (uint64, error) {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.errStart, e.err
+}
+
+// decodeV2With reads the checksummed body (magic already consumed and
+// folded into cr.crc) through the block engine.
+func decodeV2With(cr *crcReader, opts CodecOptions) (*Trace, error) {
+	nameLen, procs, count, aet, hdr, err := readHeader(cr)
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if err := cr.readFull(name); err != nil {
+		return nil, corruptf(cr.off, "reading app name: %v", err)
+	}
+	wantH := crc32.Update(0, crcTable, magicV2[:])
+	wantH = crc32.Update(wantH, crcTable, hdr[:])
+	wantH = crc32.Update(wantH, crcTable, name)
+	var u32 [4]byte
+	if err := cr.readFull(u32[:]); err != nil {
+		return nil, corruptf(cr.off, "reading header checksum: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(u32[:]); got != wantH {
+		return nil, corruptf(cr.off, "header checksum mismatch (stored %08x, computed %08x)", got, wantH)
+	}
+
+	workers := opts.workerCount()
+	if count < 4*blockEvents {
+		workers = 1
+	}
+	m := newCodecMetrics(opts.Reg, "decode", workers)
+	t := &Trace{AppName: string(name), Procs: procs, AET: aet, Events: make([]Event, 0)}
+
+	var eng *decEngine
+	if workers > 1 {
+		eng = newDecEngine(workers, m)
+		defer close(eng.jobs)
+	}
+	serialBuf := []byte(nil)
+	if eng == nil && count > 0 {
+		serialBuf = make([]byte, 0, blockBytes+4)
+	}
+
+	// Blocks are consumed in batches: bytes are read serially in file
+	// order (accumulating the whole-file CRC and error offsets), then
+	// verified and deserialised concurrently into disjoint regions of
+	// the events slice. The first batch is a single block, so the
+	// header-declared count starts funding larger reservations only
+	// after one checksum has actually verified; before that, growth is
+	// bounded exactly as for a malicious header.
+	trusted := false
+	var wg sync.WaitGroup
+	for next := uint64(0); next < count; {
+		batch := count - next
+		if !trusted && batch > blockEvents {
+			batch = blockEvents
+		}
+		if batch > maxBatchBlocks*blockEvents {
+			batch = maxBatchBlocks * blockEvents
+		}
+		for uint64(cap(t.Events)) < next+batch {
+			t.Events = growEvents(t.Events, count, trusted)
+		}
+		t.Events = t.Events[:next+batch]
+
+		var readErr error
+		readErrStart := uint64(0)
+		for bs := next; bs < next+batch; bs += blockEvents {
+			be := bs + blockEvents
+			if be > next+batch {
+				be = next + batch
+			}
+			ext := blockExtent{start: bs, end: be, off: cr.off}
+			n := int(be-bs)*recordSize + 4
+			if eng != nil {
+				j := decJobPool.Get().(*decJob)
+				if cap(j.buf) < n {
+					j.buf = make([]byte, 0, blockBytes+4)
+				}
+				j.buf = j.buf[:n]
+				if err := readBlock(cr, j.buf, ext, count); err != nil {
+					decJobPool.Put(j)
+					readErr, readErrStart = err, bs
+					break
+				}
+				j.ext, j.dst, j.wg = ext, t.Events[bs:be], &wg
+				wg.Add(1)
+				eng.jobs <- j
+				continue
+			}
+			serialBuf = serialBuf[:n]
+			if err := readBlock(cr, serialBuf, ext, count); err != nil {
+				readErr, readErrStart = err, bs
+				break
+			}
+			if err := verifyAndDecodeBlock(serialBuf, ext, t.Events[bs:be], false, m); err != nil {
+				readErr, readErrStart = err, bs
+				break
+			}
+		}
+		if eng != nil {
+			wg.Wait()
+			if start, err := eng.firstError(); err != nil && (readErr == nil || start < readErrStart) {
+				return nil, err
+			}
+		}
+		if readErr != nil {
+			return nil, readErr
+		}
+		trusted = true
+		next += batch
+	}
+
+	var tm [8]byte
+	if err := cr.readFull(tm[:]); err != nil {
+		return nil, corruptf(cr.off, "reading trailer: %v", err)
+	}
+	if tm != trailer {
+		return nil, corruptf(cr.off-8, "bad trailer %q", tm[:])
+	}
+	wantF := cr.crc
+	if err := cr.readFull(u32[:]); err != nil {
+		return nil, corruptf(cr.off, "reading file checksum: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(u32[:]); got != wantF {
+		return nil, corruptf(cr.off, "file checksum mismatch (stored %08x, computed %08x)", got, wantF)
+	}
+	m.publish()
+	return t, nil
+}
+
+// DecodeWith reads the binary tracefile format (v2 or the legacy v1
+// migration path) with explicit options. Results — including every
+// corruption error's text and offset — are identical at every worker
+// count.
+func DecodeWith(r io.Reader, opts CodecOptions) (*Trace, error) {
+	cr := &crcReader{br: bufio.NewReaderSize(r, 1<<16)}
+	var m [8]byte
+	if err := cr.readFull(m[:]); err != nil {
+		return nil, corruptf(cr.off, "reading magic: %v", err)
+	}
+	switch m {
+	case magicV2:
+		return decodeV2With(cr, opts)
+	case magic:
+		return decodeV1(cr)
+	default:
+		return nil, corruptf(0, "bad magic %q", m[:])
+	}
+}
+
+// ---------------------------------------------------------------------
+// Streaming reader.
+
+// BlockReader streams a binary tracefile (v2, or the legacy v1) one
+// block at a time: the header is surfaced through Meta before any
+// event is materialised, Next yields up to blockEvents events per call
+// into a reused scratch slice, and the trailer and whole-file CRC are
+// verified before the final io.EOF. Corruption errors carry the same
+// text and byte offsets as Decode.
+type BlockReader struct {
+	cr         *crcReader
+	meta       Meta
+	v1         bool
+	verifyOnly bool
+	next       uint64
+	buf        []byte
+	scratch    []Event
+	m          *codecMetrics
+	finished   bool
+}
+
+// NewBlockReader reads the tracefile prefix (magic, header, name and,
+// for v2, the header checksum) and positions the stream at the first
+// block.
+func NewBlockReader(r io.Reader) (*BlockReader, error) {
+	return NewBlockReaderWith(r, CodecOptions{})
+}
+
+// NewBlockReaderWith is NewBlockReader with codec options (only Reg is
+// consulted: streaming reads are sequential by nature, so the Workers
+// knob does not apply).
+func NewBlockReaderWith(r io.Reader, opts CodecOptions) (*BlockReader, error) {
+	cr := &crcReader{br: bufio.NewReaderSize(r, 1<<16)}
+	var mg [8]byte
+	if err := cr.readFull(mg[:]); err != nil {
+		return nil, corruptf(cr.off, "reading magic: %v", err)
+	}
+	v1 := false
+	switch mg {
+	case magicV2:
+	case magic:
+		v1 = true
+	default:
+		return nil, corruptf(0, "bad magic %q", mg[:])
+	}
+	nameLen, procs, count, aet, hdr, err := readHeader(cr)
+	if err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if err := cr.readFull(name); err != nil {
+		return nil, corruptf(cr.off, "reading app name: %v", err)
+	}
+	if !v1 {
+		wantH := crc32.Update(0, crcTable, magicV2[:])
+		wantH = crc32.Update(wantH, crcTable, hdr[:])
+		wantH = crc32.Update(wantH, crcTable, name)
+		var u32 [4]byte
+		if err := cr.readFull(u32[:]); err != nil {
+			return nil, corruptf(cr.off, "reading header checksum: %v", err)
+		}
+		if got := binary.LittleEndian.Uint32(u32[:]); got != wantH {
+			return nil, corruptf(cr.off, "header checksum mismatch (stored %08x, computed %08x)", got, wantH)
+		}
+	}
+	return &BlockReader{
+		cr:   cr,
+		meta: Meta{AppName: string(name), Procs: procs, Events: count, AET: aet},
+		v1:   v1,
+		buf:  make([]byte, 0, blockBytes+4),
+		m:    newCodecMetrics(opts.Reg, "decode", 1),
+	}, nil
+}
+
+// Meta returns the tracefile's header.
+func (br *BlockReader) Meta() Meta { return br.meta }
+
+// Next returns the next block of events (up to blockEvents of them),
+// verifying the block checksum on the way. The returned slice is
+// scratch reused by the following Next call. After the last block the
+// trailer and whole-file checksum are verified and io.EOF is returned.
+func (br *BlockReader) Next() ([]Event, error) {
+	if br.finished {
+		return nil, io.EOF
+	}
+	if br.next >= br.meta.Events {
+		br.finished = true
+		if !br.v1 {
+			if err := br.finishV2(); err != nil {
+				return nil, err
+			}
+		}
+		br.m.publish()
+		return nil, io.EOF
+	}
+	start := br.next
+	end := start + blockEvents
+	if end > br.meta.Events {
+		end = br.meta.Events
+	}
+	ext := blockExtent{start: start, end: end, off: br.cr.off}
+	n := int(end-start) * recordSize
+	if !br.v1 {
+		n += 4
+	}
+	br.buf = br.buf[:n]
+	if !br.v1 {
+		if err := readBlock(br.cr, br.buf, ext, br.meta.Events); err != nil {
+			br.finished = true
+			return nil, err
+		}
+	} else if err := br.cr.readFull(br.buf); err != nil {
+		// v1 has no block checksum; report the failing record exactly
+		// as decodeV1 does.
+		br.finished = true
+		consumed := br.cr.off - ext.off
+		failing := start + uint64(consumed)/uint64(recordSize)
+		if consumed%recordSize == 0 && (err == io.ErrUnexpectedEOF || err == io.EOF) {
+			err = io.EOF
+		} else if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, corruptf(br.cr.off, "reading event %d of %d: %v", failing, br.meta.Events, err)
+	}
+	var dst []Event
+	if !br.verifyOnly {
+		if br.scratch == nil {
+			br.scratch = make([]Event, blockEvents)
+		}
+		dst = br.scratch[:end-start]
+	}
+	if br.v1 {
+		if !br.verifyOnly {
+			for i := range dst {
+				getRecord(br.buf[i*recordSize:], &dst[i])
+			}
+		}
+	} else if err := verifyAndDecodeBlock(br.buf, ext, dst, br.verifyOnly, br.m); err != nil {
+		br.finished = true
+		return nil, err
+	}
+	br.next = end
+	return dst, nil
+}
+
+// finishV2 consumes and verifies the trailer and whole-file CRC.
+func (br *BlockReader) finishV2() error {
+	var tm [8]byte
+	if err := br.cr.readFull(tm[:]); err != nil {
+		return corruptf(br.cr.off, "reading trailer: %v", err)
+	}
+	if tm != trailer {
+		return corruptf(br.cr.off-8, "bad trailer %q", tm[:])
+	}
+	wantF := br.cr.crc
+	var u32 [4]byte
+	if err := br.cr.readFull(u32[:]); err != nil {
+		return corruptf(br.cr.off, "reading file checksum: %v", err)
+	}
+	if got := binary.LittleEndian.Uint32(u32[:]); got != wantF {
+		return corruptf(br.cr.off, "file checksum mismatch (stored %08x, computed %08x)", got, wantF)
+	}
+	return nil
+}
+
+// VerifyStream reads a binary tracefile to the end, verifying every
+// checksum (header, per-block, whole-file) without materialising a
+// single event, and returns the header metadata. This is what `repo
+// fsck` runs over stored tracefiles: detection strength of a full
+// Decode at a fraction of the memory and time.
+func VerifyStream(r io.Reader) (Meta, error) {
+	return VerifyStreamWith(r, CodecOptions{})
+}
+
+// VerifyStreamWith is VerifyStream with codec options (Reg only).
+func VerifyStreamWith(r io.Reader, opts CodecOptions) (Meta, error) {
+	br, err := NewBlockReaderWith(r, opts)
+	if err != nil {
+		return Meta{}, err
+	}
+	br.verifyOnly = true
+	for {
+		if _, err := br.Next(); err == io.EOF {
+			return br.meta, nil
+		} else if err != nil {
+			return br.meta, err
+		}
+	}
+}

@@ -128,62 +128,12 @@ func (cw *crcWriter) write(p []byte) error {
 	return err
 }
 
-// Encode writes the current (v2, checksummed) binary tracefile format.
+// Encode writes the current (v2, checksummed) binary tracefile
+// format. Blocks are serialised and checksummed on the worker-pool
+// block engine (blockio.go); use EncodeWith to pin the worker count or
+// attach metrics.
 func Encode(w io.Writer, t *Trace) error {
-	if len(t.AppName) > 0xffff {
-		return fmt.Errorf("trace: app name too long")
-	}
-	cw := &crcWriter{w: bufio.NewWriterSize(w, 1<<16)}
-	if err := cw.write(magicV2[:]); err != nil {
-		return err
-	}
-	var hdr [24]byte
-	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(t.AppName)))
-	binary.LittleEndian.PutUint16(hdr[2:], 0) // reserved
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.Procs))
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(t.Events)))
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(t.AET))
-	if err := cw.write(hdr[:]); err != nil {
-		return err
-	}
-	if err := cw.write([]byte(t.AppName)); err != nil {
-		return err
-	}
-	hcrc := crc32.Update(0, crcTable, magicV2[:])
-	hcrc = crc32.Update(hcrc, crcTable, hdr[:])
-	hcrc = crc32.Update(hcrc, crcTable, []byte(t.AppName))
-	var u32 [4]byte
-	binary.LittleEndian.PutUint32(u32[:], hcrc)
-	if err := cw.write(u32[:]); err != nil {
-		return err
-	}
-	var rec [recordSize]byte
-	for start := 0; start < len(t.Events); start += blockEvents {
-		end := start + blockEvents
-		if end > len(t.Events) {
-			end = len(t.Events)
-		}
-		var bcrc uint32
-		for i := start; i < end; i++ {
-			putRecord(rec[:], &t.Events[i])
-			bcrc = crc32.Update(bcrc, crcTable, rec[:])
-			if err := cw.write(rec[:]); err != nil {
-				return err
-			}
-		}
-		binary.LittleEndian.PutUint32(u32[:], bcrc)
-		if err := cw.write(u32[:]); err != nil {
-			return err
-		}
-	}
-	if err := cw.write(trailer[:]); err != nil {
-		return err
-	}
-	binary.LittleEndian.PutUint32(u32[:], cw.crc)
-	if err := cw.write(u32[:]); err != nil {
-		return err
-	}
-	return cw.w.Flush()
+	return EncodeWith(w, t, CodecOptions{})
 }
 
 // crcReader tracks the byte offset and whole-file CRC of everything
@@ -209,21 +159,11 @@ func corruptf(off int64, format string, args ...any) error {
 // Decode reads the binary tracefile format, either the current v2
 // (verifying every checksum) or the legacy v1 migration path. All
 // corruption and truncation errors include the byte offset at which
-// the problem was detected.
+// the problem was detected. Block verification and deserialisation run
+// on the worker-pool block engine (blockio.go); use DecodeWith to pin
+// the worker count or attach metrics.
 func Decode(r io.Reader) (*Trace, error) {
-	cr := &crcReader{br: bufio.NewReaderSize(r, 1<<16)}
-	var m [8]byte
-	if err := cr.readFull(m[:]); err != nil {
-		return nil, corruptf(cr.off, "reading magic: %v", err)
-	}
-	switch m {
-	case magicV2:
-		return decodeV2(cr)
-	case magic:
-		return decodeV1(cr)
-	default:
-		return nil, corruptf(0, "bad magic %q", m[:])
-	}
+	return DecodeWith(r, CodecOptions{})
 }
 
 // readHeader reads and validates the common 24-byte header.
@@ -247,11 +187,20 @@ func readHeader(cr *crcReader) (nameLen int, procs int, count uint64, aet vtime.
 	return
 }
 
-// growEvents extends evs towards total in bounded chunks: the header
-// count is never trusted for a single large allocation, so a 32-byte
-// malicious header cannot demand terabytes.
-func growEvents(evs []Event, total uint64) []Event {
+// growEvents extends evs towards total. Until trusted, growth is
+// bounded to eventChunk-sized steps: the header count is never trusted
+// for a single large allocation, so a 32-byte malicious header cannot
+// demand terabytes. Once the caller has verified real data against a
+// checksum (trusted=true), capacity doubles toward total so a large
+// decode performs O(log n) copies instead of O(n/chunk).
+func growEvents(evs []Event, total uint64, trusted bool) []Event {
 	want := cap(evs) + eventChunk
+	if trusted {
+		want = cap(evs) * 2
+		if want < eventChunk {
+			want = eventChunk
+		}
+	}
 	if uint64(want) > total {
 		want = int(total)
 	}
@@ -275,82 +224,13 @@ func decodeV1(cr *crcReader) (*Trace, error) {
 	var rec [recordSize]byte
 	for i := uint64(0); i < count; i++ {
 		if uint64(cap(t.Events)) <= i {
-			t.Events = growEvents(t.Events, count)
+			t.Events = growEvents(t.Events, count, false)
 		}
 		if err := cr.readFull(rec[:]); err != nil {
 			return nil, corruptf(cr.off, "reading event %d of %d: %v", i, count, err)
 		}
 		t.Events = t.Events[:i+1]
 		getRecord(rec[:], &t.Events[i])
-	}
-	return t, nil
-}
-
-// decodeV2 reads the checksummed body (magic already consumed and
-// folded into cr.crc).
-func decodeV2(cr *crcReader) (*Trace, error) {
-	nameLen, procs, count, aet, hdr, err := readHeader(cr)
-	if err != nil {
-		return nil, err
-	}
-	name := make([]byte, nameLen)
-	if err := cr.readFull(name); err != nil {
-		return nil, corruptf(cr.off, "reading app name: %v", err)
-	}
-	wantH := crc32.Update(0, crcTable, magicV2[:])
-	wantH = crc32.Update(wantH, crcTable, hdr[:])
-	wantH = crc32.Update(wantH, crcTable, name)
-	var u32 [4]byte
-	if err := cr.readFull(u32[:]); err != nil {
-		return nil, corruptf(cr.off, "reading header checksum: %v", err)
-	}
-	if got := binary.LittleEndian.Uint32(u32[:]); got != wantH {
-		return nil, corruptf(cr.off, "header checksum mismatch (stored %08x, computed %08x)", got, wantH)
-	}
-
-	t := &Trace{AppName: string(name), Procs: procs, AET: aet, Events: make([]Event, 0)}
-	var rec [recordSize]byte
-	for start := uint64(0); start < count; start += blockEvents {
-		end := start + blockEvents
-		if end > count {
-			end = count
-		}
-		blockOff := cr.off
-		var bcrc uint32
-		for i := start; i < end; i++ {
-			if uint64(cap(t.Events)) <= i {
-				t.Events = growEvents(t.Events, count)
-			}
-			if err := cr.readFull(rec[:]); err != nil {
-				return nil, corruptf(cr.off, "reading event %d of %d: %v", i, count, err)
-			}
-			bcrc = crc32.Update(bcrc, crcTable, rec[:])
-			t.Events = t.Events[:i+1]
-			getRecord(rec[:], &t.Events[i])
-		}
-		if err := cr.readFull(u32[:]); err != nil {
-			return nil, corruptf(cr.off, "reading block checksum: %v", err)
-		}
-		if got := binary.LittleEndian.Uint32(u32[:]); got != bcrc {
-			return nil, corruptf(blockOff,
-				"event block %d-%d checksum mismatch (stored %08x, computed %08x)",
-				start, end-1, got, bcrc)
-		}
-	}
-
-	var tm [8]byte
-	if err := cr.readFull(tm[:]); err != nil {
-		return nil, corruptf(cr.off, "reading trailer: %v", err)
-	}
-	if tm != trailer {
-		return nil, corruptf(cr.off-8, "bad trailer %q", tm[:])
-	}
-	wantF := cr.crc
-	if err := cr.readFull(u32[:]); err != nil {
-		return nil, corruptf(cr.off, "reading file checksum: %v", err)
-	}
-	if got := binary.LittleEndian.Uint32(u32[:]); got != wantF {
-		return nil, corruptf(cr.off, "file checksum mismatch (stored %08x, computed %08x)", got, wantF)
 	}
 	return t, nil
 }

@@ -1,0 +1,434 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pas2p/internal/obs"
+)
+
+// TestEncodeDeterministicAcrossWorkers is the PR's core property: the
+// block engine's output is byte-identical at every worker count, on
+// traces small enough to take the serial fallback and large enough to
+// actually fan out.
+func TestEncodeDeterministicAcrossWorkers(t *testing.T) {
+	shapes := []struct {
+		seed   int64
+		procs  int
+		events int // per process
+	}{
+		{1, 1, 0},     // empty: header + trailer only
+		{2, 1, 1},     // single event
+		{3, 2, 255},   // sub-block total
+		{4, 3, 171},   // exactly one block (513 -> no; 3*171=513) — off-by-one around blockEvents
+		{5, 2, 256},   // exactly blockEvents
+		{6, 4, 1500},  // 6000 events: parallel path, partial final block
+		{7, 3, 2048},  // 6144 events: whole number of blocks
+		{8, 1, 40000}, // single stream, many blocks
+	}
+	for _, s := range shapes {
+		tr := fuzzTrace(t, s.seed, s.procs, s.events)
+		var serial bytes.Buffer
+		if err := EncodeWith(&serial, tr, CodecOptions{Workers: 1}); err != nil {
+			t.Fatalf("shape %+v: serial encode: %v", s, err)
+		}
+		for _, workers := range []int{2, 8} {
+			var par bytes.Buffer
+			if err := EncodeWith(&par, tr, CodecOptions{Workers: workers}); err != nil {
+				t.Fatalf("shape %+v workers=%d: encode: %v", s, workers, err)
+			}
+			if !bytes.Equal(par.Bytes(), serial.Bytes()) {
+				t.Fatalf("shape %+v workers=%d: output diverges from serial (%d vs %d bytes)",
+					s, workers, par.Len(), serial.Len())
+			}
+		}
+		// And every worker count decodes it back to the same trace.
+		for _, workers := range []int{1, 2, 8} {
+			got, err := DecodeWith(bytes.NewReader(serial.Bytes()), CodecOptions{Workers: workers})
+			if err != nil {
+				t.Fatalf("shape %+v workers=%d: decode: %v", s, workers, err)
+			}
+			if !reflect.DeepEqual(got, tr) {
+				t.Fatalf("shape %+v workers=%d: decode round trip mismatch", s, workers)
+			}
+		}
+	}
+}
+
+// TestDecodeCorruptionDeterministicAcrossWorkers pins the second half
+// of the property: a damaged file produces the exact same error string
+// (same failing unit, same byte offset) at every parallelism level,
+// because block bytes are read serially in file order and worker errors
+// resolve to the lowest block start.
+func TestDecodeCorruptionDeterministicAcrossWorkers(t *testing.T) {
+	tr := fuzzTrace(t, 11, 4, 1500) // 6000 events: 12 blocks, parallel path
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	headerEnd := 8 + 24 + len(tr.AppName) + 4
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"flip-first-block", func(b []byte) []byte { b[headerEnd+10] ^= 0x40; return b }},
+		{"flip-mid-block", func(b []byte) []byte { b[headerEnd+5*(blockBytes+4)+137] ^= 0x01; return b }},
+		{"flip-last-block", func(b []byte) []byte { b[len(b)-20] ^= 0x80; return b }},
+		// Stored block CRC itself damaged.
+		{"flip-block-crc", func(b []byte) []byte { b[headerEnd+3*(blockBytes+4)-2] ^= 0xff; return b }},
+		{"truncate-mid-record", func(b []byte) []byte { return b[:headerEnd+2*(blockBytes+4)+recordSize+17] }},
+		{"truncate-record-boundary", func(b []byte) []byte { return b[:headerEnd+7*(blockBytes+4)+3*recordSize] }},
+		{"truncate-trailer", func(b []byte) []byte { return b[:len(b)-9] }},
+	}
+	for _, c := range cases {
+		data := c.mutate(append([]byte(nil), raw...))
+		_, serialErr := DecodeWith(bytes.NewReader(data), CodecOptions{Workers: 1})
+		if serialErr == nil {
+			t.Fatalf("%s: corruption went undetected", c.name)
+		}
+		if !strings.Contains(serialErr.Error(), "offset") {
+			t.Fatalf("%s: error lacks offset: %v", c.name, serialErr)
+		}
+		for _, workers := range []int{2, 8} {
+			_, err := DecodeWith(bytes.NewReader(data), CodecOptions{Workers: workers})
+			if err == nil {
+				t.Fatalf("%s workers=%d: corruption went undetected", c.name, workers)
+			}
+			if err.Error() != serialErr.Error() {
+				t.Fatalf("%s workers=%d: error diverges from serial:\n  serial:   %v\n  parallel: %v",
+					c.name, workers, serialErr, err)
+			}
+		}
+		// The streaming reader reports the identical error too.
+		if _, err := VerifyStream(bytes.NewReader(data)); err == nil || err.Error() != serialErr.Error() {
+			t.Fatalf("%s: VerifyStream error diverges from Decode:\n  decode: %v\n  stream: %v",
+				c.name, serialErr, err)
+		}
+	}
+}
+
+// TestCompressDeterministicAcrossWorkers: the parallel template scan
+// and per-process section encoding must reproduce the serial archive
+// bit for bit (the template dictionary merge preserves first-seen
+// order), and the archive must still decompress to the original.
+func TestCompressDeterministicAcrossWorkers(t *testing.T) {
+	for _, shape := range []struct {
+		seed   int64
+		procs  int
+		events int
+	}{
+		{21, 4, 800}, // 3200 events: parallel path
+		{22, 8, 400}, // wider than workers
+		{23, 2, 100}, // small: serial fallback
+	} {
+		tr := fuzzTrace(t, shape.seed, shape.procs, shape.events)
+		var serial bytes.Buffer
+		if err := CompressWith(&serial, tr, CompressOptions{Workers: 1}); err != nil {
+			t.Fatalf("shape %+v: serial compress: %v", shape, err)
+		}
+		for _, workers := range []int{2, 8} {
+			var par bytes.Buffer
+			if err := CompressWith(&par, tr, CompressOptions{Workers: workers}); err != nil {
+				t.Fatalf("shape %+v workers=%d: compress: %v", shape, workers, err)
+			}
+			if !bytes.Equal(par.Bytes(), serial.Bytes()) {
+				t.Fatalf("shape %+v workers=%d: archive diverges from serial", shape, workers)
+			}
+		}
+		got, err := Decompress(bytes.NewReader(serial.Bytes()))
+		if err != nil {
+			t.Fatalf("shape %+v: decompress: %v", shape, err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatalf("shape %+v: compress round trip mismatch", shape)
+		}
+	}
+}
+
+// TestGrowEventsPolicy pins the reservation policy directly: untrusted
+// counts grow by fixed eventChunk steps (a malicious header can never
+// make one allocation bigger than ~6 MiB of events), while a trusted
+// count doubles, reaching N events in O(log N) allocations.
+func TestGrowEventsPolicy(t *testing.T) {
+	grows := func(total uint64, trusted bool) int {
+		evs := make([]Event, 0)
+		n := 0
+		for uint64(cap(evs)) < total {
+			before := cap(evs)
+			evs = growEvents(evs, total, trusted)
+			if cap(evs) <= before {
+				t.Fatalf("growEvents(total=%d, trusted=%v) did not grow past cap %d", total, trusted, before)
+			}
+			if uint64(cap(evs)) > total {
+				t.Fatalf("growEvents(total=%d, trusted=%v) over-reserved cap %d", total, trusted, cap(evs))
+			}
+			n++
+		}
+		return n
+	}
+	const million = 1_000_000
+	if got := grows(million, false); got != (million+eventChunk-1)/eventChunk {
+		t.Fatalf("untrusted growth to 1M: %d allocations, want %d", got, (million+eventChunk-1)/eventChunk)
+	}
+	// Doubling from eventChunk: 65536, 131072, 262144, 524288, 1000000.
+	if got := grows(million, true); got != 5 {
+		t.Fatalf("trusted growth to 1M: %d allocations, want 5", got)
+	}
+	if got := grows(100, true); got != 1 {
+		t.Fatalf("trusted growth to 100: %d allocations, want 1", got)
+	}
+}
+
+// TestTrustedDecodeAllocs pins the end-to-end allocation count of a
+// large serial decode: once the first block's checksum verifies, the
+// header-declared count funds doubling reservations, so the whole
+// decode stays within a small constant number of allocations rather
+// than one per 64Ki-event chunk.
+func TestTrustedDecodeAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	tr := syntheticTrace(600_000)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	allocs := testing.AllocsPerRun(2, func() {
+		got, err := DecodeWith(bytes.NewReader(data), CodecOptions{Workers: 1})
+		if err != nil || len(got.Events) != 600_000 {
+			t.Fatalf("decode: %v", err)
+		}
+	})
+	// Measured ~11: reader plumbing + name + trace + scratch block buffer
+	// + 5 doubling grows (64Ki..600k). The old chunked growth alone took
+	// 10 grows; anything past 20 means the trusted path regressed.
+	if allocs > 20 {
+		t.Fatalf("trusted 600k-event decode did %.0f allocations, want <= 20", allocs)
+	}
+}
+
+// TestBlockWriterReaderRoundTrip drives the streaming API directly:
+// arbitrary Append chunkings must produce the byte-identical file that
+// EncodeWith produces, and BlockReader must hand back the same events
+// block by block with the trailer verified before EOF.
+func TestBlockWriterReaderRoundTrip(t *testing.T) {
+	tr := fuzzTrace(t, 31, 3, 1200) // 3600 events
+	var want bytes.Buffer
+	if err := Encode(&want, tr); err != nil {
+		t.Fatal(err)
+	}
+	meta := Meta{AppName: tr.AppName, Procs: tr.Procs, Events: uint64(len(tr.Events)), AET: tr.AET}
+
+	for _, workers := range []int{1, 8} {
+		for _, chunk := range []int{1, 100, blockEvents, blockEvents + 1, 997, len(tr.Events)} {
+			var got bytes.Buffer
+			bw, err := NewBlockWriter(&got, meta, CodecOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for off := 0; off < len(tr.Events); off += chunk {
+				end := off + chunk
+				if end > len(tr.Events) {
+					end = len(tr.Events)
+				}
+				if err := bw.Append(tr.Events[off:end]); err != nil {
+					t.Fatalf("workers=%d chunk=%d: append: %v", workers, chunk, err)
+				}
+			}
+			if err := bw.Close(); err != nil {
+				t.Fatalf("workers=%d chunk=%d: close: %v", workers, chunk, err)
+			}
+			if !bytes.Equal(got.Bytes(), want.Bytes()) {
+				t.Fatalf("workers=%d chunk=%d: streamed bytes diverge from Encode", workers, chunk)
+			}
+		}
+	}
+
+	// Read it back block by block.
+	br, err := NewBlockReader(bytes.NewReader(want.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Meta() != meta {
+		t.Fatalf("streamed meta %+v, want %+v", br.Meta(), meta)
+	}
+	var events []Event
+	for {
+		blk, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		if len(blk) == 0 || len(blk) > blockEvents {
+			t.Fatalf("block of %d events", len(blk))
+		}
+		events = append(events, blk...) // blk is scratch: copy before the next call
+	}
+	if !reflect.DeepEqual(events, tr.Events) {
+		t.Fatal("streamed events diverge from the original")
+	}
+	// Next after EOF keeps returning EOF.
+	if _, err := br.Next(); err != io.EOF {
+		t.Fatalf("Next after EOF: %v", err)
+	}
+
+	meta2, err := VerifyStream(bytes.NewReader(want.Bytes()))
+	if err != nil {
+		t.Fatalf("verify stream: %v", err)
+	}
+	if meta2 != meta {
+		t.Fatalf("VerifyStream meta %+v, want %+v", meta2, meta)
+	}
+}
+
+// TestBlockReaderV1 checks the streaming reader on the legacy
+// unchecksummed format, including truncation errors matching decodeV1.
+func TestBlockReaderV1(t *testing.T) {
+	tr := fuzzTrace(t, 41, 2, 700) // 1400 events, multiple blocks
+	var buf bytes.Buffer
+	if err := encodeV1(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	br, err := NewBlockReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for {
+		blk, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		events = append(events, blk...)
+	}
+	if !reflect.DeepEqual(events, tr.Events) {
+		t.Fatal("v1 streamed events diverge from the original")
+	}
+
+	// Truncation mid-file: Decode and the streaming reader must agree.
+	cut := raw[:len(raw)-recordSize*3-7]
+	_, decErr := Decode(bytes.NewReader(cut))
+	if decErr == nil {
+		t.Fatal("truncated v1 decoded cleanly")
+	}
+	br2, err := NewBlockReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var streamErr error
+	for {
+		_, err := br2.Next()
+		if err != nil {
+			if err != io.EOF {
+				streamErr = err
+			}
+			break
+		}
+	}
+	if streamErr == nil || streamErr.Error() != decErr.Error() {
+		t.Fatalf("v1 truncation errors diverge:\n  decode: %v\n  stream: %v", decErr, streamErr)
+	}
+}
+
+// TestBlockWriterCountMismatch: the writer must refuse both overrun
+// (more events than the header declared) and underrun at Close.
+func TestBlockWriterCountMismatch(t *testing.T) {
+	tr := fuzzTrace(t, 51, 1, 10)
+	meta := Meta{AppName: tr.AppName, Procs: tr.Procs, Events: 5, AET: tr.AET}
+	var buf bytes.Buffer
+	bw, err := NewBlockWriter(&buf, meta, CodecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Append(tr.Events); err == nil {
+		t.Fatal("overrun Append succeeded")
+	}
+
+	buf.Reset()
+	bw, err = NewBlockWriter(&buf, Meta{AppName: "x", Procs: 1, Events: 100}, CodecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Append(tr.Events[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err == nil {
+		t.Fatal("underrun Close succeeded")
+	}
+}
+
+// TestCodecMetricsPublished: an encode/decode pair with a registry
+// attached must publish block and byte counters that tally with the
+// file, at both parallelism settings.
+func TestCodecMetricsPublished(t *testing.T) {
+	tr := fuzzTrace(t, 61, 3, 1024) // 3072 events -> 6 blocks
+	wantBlocks := int64((len(tr.Events) + blockEvents - 1) / blockEvents)
+	for _, workers := range []int{1, 4} {
+		reg := obs.NewRegistry()
+		var buf bytes.Buffer
+		if err := EncodeWith(&buf, tr, CodecOptions{Workers: workers, Reg: reg}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := DecodeWith(bytes.NewReader(buf.Bytes()), CodecOptions{Workers: workers, Reg: reg}); err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot()
+		for _, c := range []string{"codec.encode.blocks", "codec.decode.blocks"} {
+			if got := snap.Counters[c]; got != wantBlocks {
+				t.Fatalf("workers=%d: %s = %d, want %d", workers, c, got, wantBlocks)
+			}
+		}
+		for _, c := range []string{"codec.encode.bytes", "codec.decode.bytes"} {
+			if got := snap.Counters[c]; got != wantBlocks*4+int64(len(tr.Events))*recordSize {
+				t.Fatalf("workers=%d: %s = %d, want %d", workers, c, got,
+					wantBlocks*4+int64(len(tr.Events))*recordSize)
+			}
+		}
+		if got := snap.Gauges["codec.encode.workers"]; got != float64(workers) {
+			t.Fatalf("workers=%d: codec.encode.workers gauge = %v", workers, got)
+		}
+	}
+}
+
+// TestEncodeWriteErrorPropagates: a sink that fails mid-stream must
+// surface the write error (not hang the pool, not succeed).
+func TestEncodeWriteErrorPropagates(t *testing.T) {
+	tr := fuzzTrace(t, 71, 4, 1500)
+	for _, workers := range []int{1, 8} {
+		w := &failAfterWriter{limit: 100_000}
+		err := EncodeWith(w, tr, CodecOptions{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: encode to failing sink succeeded", workers)
+		}
+		if !strings.Contains(err.Error(), "sink full") {
+			t.Fatalf("workers=%d: wrong error: %v", workers, err)
+		}
+	}
+}
+
+type failAfterWriter struct {
+	n     int
+	limit int
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n+len(p) > w.limit {
+		return 0, fmt.Errorf("sink full after %d bytes", w.n)
+	}
+	w.n += len(p)
+	return len(p), nil
+}

@@ -6,6 +6,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 
 	"pas2p/internal/vtime"
 )
@@ -52,10 +54,17 @@ func templateOf(e *Event) template {
 		peerOff: off, tag: e.Tag, size: e.Size}
 }
 
-// CompressOptions tunes the loop detector.
+// CompressOptions tunes the loop detector and the worker pool.
 type CompressOptions struct {
 	// MaxBlock is the largest tandem-repeat block length searched.
 	MaxBlock int
+	// Workers is the per-process worker count: 0 (or negative) selects
+	// GOMAXPROCS, 1 forces the serial path. Template detection and
+	// section encoding are process-independent, so the output is
+	// byte-identical at every setting. Decompress has no such knob:
+	// the varint stream carries no random-access index, so sections
+	// can only be found by decoding their predecessors.
+	Workers int
 }
 
 // Compress writes the compressed tracefile format.
@@ -64,10 +73,25 @@ func Compress(w io.Writer, t *Trace) error {
 }
 
 // CompressWith writes the compressed format with explicit options.
+// Per-process work (template scans, loop detection, varint encoding)
+// fans out across opts.Workers; sections are concatenated in process
+// order, so the bytes match the serial encoder's exactly.
 func CompressWith(w io.Writer, t *Trace, opts CompressOptions) error {
 	if opts.MaxBlock <= 0 {
 		opts.MaxBlock = 64
 	}
+	per := t.PerProcess()
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(per) {
+		workers = len(per)
+	}
+	if len(t.Events) < 4*blockEvents {
+		workers = 1
+	}
+
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if _, err := bw.Write(magicZ[:]); err != nil {
 		return err
@@ -97,17 +121,41 @@ func CompressWith(w io.Writer, t *Trace, opts CompressOptions) error {
 		return err
 	}
 
-	per := t.PerProcess()
-
-	// Global template dictionary.
+	// Global template dictionary in first-seen order. The serial scan
+	// walks process 0 to completion before process 1, so per-process
+	// first-seen lists merged in process order reproduce the global
+	// order exactly — which makes the scan embarrassingly parallel.
 	dict := map[template]uint64{}
 	var order []template
-	for _, evs := range per {
-		for i := range evs {
-			tp := templateOf(&evs[i])
-			if _, ok := dict[tp]; !ok {
-				dict[tp] = uint64(len(order))
-				order = append(order, tp)
+	if workers > 1 {
+		localOrders := make([][]template, len(per))
+		runProcs(len(per), workers, func(p int) {
+			evs := per[p]
+			local := map[template]struct{}{}
+			for i := range evs {
+				tp := templateOf(&evs[i])
+				if _, ok := local[tp]; !ok {
+					local[tp] = struct{}{}
+					localOrders[p] = append(localOrders[p], tp)
+				}
+			}
+		})
+		for _, lo := range localOrders {
+			for _, tp := range lo {
+				if _, ok := dict[tp]; !ok {
+					dict[tp] = uint64(len(order))
+					order = append(order, tp)
+				}
+			}
+		}
+	} else {
+		for _, evs := range per {
+			for i := range evs {
+				tp := templateOf(&evs[i])
+				if _, ok := dict[tp]; !ok {
+					dict[tp] = uint64(len(order))
+					order = append(order, tp)
+				}
 			}
 		}
 	}
@@ -135,84 +183,119 @@ func CompressWith(w io.Writer, t *Trace, opts CompressOptions) error {
 		}
 	}
 
-	// Per-process streams.
-	for p, evs := range per {
-		if err := putUv(uint64(len(evs))); err != nil {
-			return err
-		}
-		// Template ids with tandem-repeat RLE.
-		ids := make([]uint64, len(evs))
-		for i := range evs {
-			ids[i] = dict[templateOf(&evs[i])]
-		}
-		if err := rleEncode(ids, opts.MaxBlock, putUv); err != nil {
-			return err
-		}
-		// Times: gap since previous exit, service time, plus the
-		// compute-before correction when it differs from the gap.
-		var prevExit vtime.Time
-		for i := range evs {
-			e := &evs[i]
-			gap := int64(e.Enter - prevExit)
-			if err := putV(gap); err != nil {
+	// Per-process streams: each section depends only on its own
+	// process's events and the (now frozen) dictionary, so sections
+	// are encoded into per-process buffers concurrently and written
+	// out in process order.
+	if workers > 1 {
+		bufs := make([]bytes.Buffer, len(per))
+		runProcs(len(per), workers, func(p int) {
+			compressSection(&bufs[p], p, per[p], dict, opts.MaxBlock)
+		})
+		for p := range bufs {
+			if _, err := bw.Write(bufs[p].Bytes()); err != nil {
 				return err
 			}
-			if err := putUv(uint64(e.Exit - e.Enter)); err != nil {
+		}
+	} else {
+		var buf bytes.Buffer
+		for p, evs := range per {
+			buf.Reset()
+			compressSection(&buf, p, evs, dict, opts.MaxBlock)
+			if _, err := bw.Write(buf.Bytes()); err != nil {
 				return err
-			}
-			corr := int64(e.ComputeBefore) - gap
-			if err := putV(corr); err != nil {
-				return err
-			}
-			prevExit = e.Exit
-		}
-		// Relations: delta against expectation. For sends the expected
-		// RelA is the process itself and RelB counts up; receives and
-		// collectives store raw varints (they are small counters).
-		var sendSeq int64
-		for i := range evs {
-			e := &evs[i]
-			if e.Kind == Send {
-				if err := putV(e.RelA - int64(p)); err != nil {
-					return err
-				}
-				if err := putV(e.RelB - sendSeq); err != nil {
-					return err
-				}
-				sendSeq++
-			} else {
-				if err := putV(e.RelA); err != nil {
-					return err
-				}
-				if err := putV(e.RelB); err != nil {
-					return err
-				}
-			}
-		}
-		// Logical times (usually all NoLT in fresh traces).
-		allNo := true
-		for i := range evs {
-			if evs[i].LT != NoLT {
-				allNo = false
-				break
-			}
-		}
-		flag := uint64(0)
-		if allNo {
-			flag = 1
-		}
-		if err := putUv(flag); err != nil {
-			return err
-		}
-		if !allNo {
-			for i := range evs {
-				if err := putV(evs[i].LT); err != nil {
-					return err
-				}
 			}
 		}
 	}
 	return bw.Flush()
+}
+
+// runProcs runs fn(p) for p in [0, n) on a pool of workers goroutines.
+func runProcs(n, workers int, fn func(p int)) {
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range ch {
+				fn(p)
+			}
+		}()
+	}
+	for p := 0; p < n; p++ {
+		ch <- p
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// compressSection encodes one process's event stream into buf. Writes
+// to a bytes.Buffer cannot fail, so the section body is error-free by
+// construction; I/O errors surface when the buffer is copied out.
+func compressSection(buf *bytes.Buffer, p int, evs []Event, dict map[template]uint64, maxBlock int) {
+	var scratch [binary.MaxVarintLen64]byte
+	putUv := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		buf.Write(scratch[:n])
+		return nil
+	}
+	putV := func(v int64) {
+		n := binary.PutVarint(scratch[:], v)
+		buf.Write(scratch[:n])
+	}
+
+	putUv(uint64(len(evs)))
+	// Template ids with tandem-repeat RLE.
+	ids := make([]uint64, len(evs))
+	for i := range evs {
+		ids[i] = dict[templateOf(&evs[i])]
+	}
+	rleEncode(ids, maxBlock, putUv)
+	// Times: gap since previous exit, service time, plus the
+	// compute-before correction when it differs from the gap.
+	var prevExit vtime.Time
+	for i := range evs {
+		e := &evs[i]
+		gap := int64(e.Enter - prevExit)
+		putV(gap)
+		putUv(uint64(e.Exit - e.Enter))
+		putV(int64(e.ComputeBefore) - gap)
+		prevExit = e.Exit
+	}
+	// Relations: delta against expectation. For sends the expected
+	// RelA is the process itself and RelB counts up; receives and
+	// collectives store raw varints (they are small counters).
+	var sendSeq int64
+	for i := range evs {
+		e := &evs[i]
+		if e.Kind == Send {
+			putV(e.RelA - int64(p))
+			putV(e.RelB - sendSeq)
+			sendSeq++
+		} else {
+			putV(e.RelA)
+			putV(e.RelB)
+		}
+	}
+	// Logical times (usually all NoLT in fresh traces).
+	allNo := true
+	for i := range evs {
+		if evs[i].LT != NoLT {
+			allNo = false
+			break
+		}
+	}
+	flag := uint64(0)
+	if allNo {
+		flag = 1
+	}
+	putUv(flag)
+	if !allNo {
+		for i := range evs {
+			putV(evs[i].LT)
+		}
+	}
 }
 
 // rleEncode emits the id sequence as tokens: either (0, id) for a
@@ -457,6 +540,13 @@ func rleDecode(count int, getUv func() (uint64, error)) ([]uint64, error) {
 // DecodeAny sniffs the tracefile format (flat binary, compressed, or
 // JSON) and decodes accordingly.
 func DecodeAny(r io.Reader) (*Trace, error) {
+	return DecodeAnyWith(r, CodecOptions{})
+}
+
+// DecodeAnyWith is DecodeAny with codec options; the options apply to
+// the flat binary path (the compressed and JSON decoders are
+// inherently sequential).
+func DecodeAnyWith(r io.Reader, opts CodecOptions) (*Trace, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	head, err := br.Peek(8)
 	if err != nil {
@@ -464,7 +554,7 @@ func DecodeAny(r io.Reader) (*Trace, error) {
 	}
 	switch {
 	case bytes.Equal(head, magic[:]), bytes.Equal(head, magicV2[:]):
-		return Decode(br)
+		return DecodeWith(br, opts)
 	case bytes.Equal(head, magicZ[:]):
 		return Decompress(br)
 	case head[0] == '{':

@@ -1,0 +1,7 @@
+//go:build race
+
+package trace
+
+// raceEnabled reports whether the race detector instruments this test
+// binary; allocation-count pins skip under it.
+const raceEnabled = true

@@ -26,6 +26,7 @@
 package pas2p
 
 import (
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -166,6 +167,59 @@ type (
 	// PartialExec is the related-work baseline predictor [17].
 	PartialExec = predict.PartialExec
 )
+
+// Trace I/O. The binary tracefile codec runs on a worker-pool block
+// engine: fixed-size checksummed record blocks are serialised,
+// CRC-verified and deserialised in parallel with byte-identical output
+// at every worker count, and the streaming reader/writer let callers
+// fold over a tracefile block-by-block without materialising the full
+// event slice.
+type (
+	// TraceMeta is a tracefile's header (app, procs, event count, AET).
+	TraceMeta = trace.Meta
+	// TraceCodecOptions tunes the block engine (worker count, metrics
+	// registry); the zero value selects all CPUs with no metrics.
+	TraceCodecOptions = trace.CodecOptions
+	// TraceBlockReader streams a tracefile one checksummed block at a
+	// time.
+	TraceBlockReader = trace.BlockReader
+	// TraceBlockWriter streams a tracefile out block by block.
+	TraceBlockWriter = trace.BlockWriter
+)
+
+// EncodeTrace writes the checksummed binary tracefile format through
+// the parallel block engine.
+func EncodeTrace(w io.Writer, t *Trace, opts TraceCodecOptions) error {
+	return trace.EncodeWith(w, t, opts)
+}
+
+// DecodeTrace reads a binary tracefile (current or legacy format),
+// verifying every checksum.
+func DecodeTrace(r io.Reader, opts TraceCodecOptions) (*Trace, error) {
+	return trace.DecodeWith(r, opts)
+}
+
+// DecodeAnyTrace sniffs the tracefile format (binary, compressed or
+// JSON) and decodes it.
+func DecodeAnyTrace(r io.Reader, opts TraceCodecOptions) (*Trace, error) {
+	return trace.DecodeAnyWith(r, opts)
+}
+
+// VerifyTraceStream checks every checksum of a binary tracefile
+// block-by-block without materialising any events, returning its
+// header metadata.
+func VerifyTraceStream(r io.Reader) (TraceMeta, error) { return trace.VerifyStream(r) }
+
+// NewTraceBlockReader opens a streaming reader over a binary
+// tracefile.
+func NewTraceBlockReader(r io.Reader) (*TraceBlockReader, error) { return trace.NewBlockReader(r) }
+
+// NewTraceBlockWriter opens a streaming writer; meta.Events must
+// declare the total event count up front (the header is written
+// first), and Close fails if the appended events do not match it.
+func NewTraceBlockWriter(w io.Writer, meta TraceMeta, opts TraceCodecOptions) (*TraceBlockWriter, error) {
+	return trace.NewBlockWriter(w, meta, opts)
+}
 
 // DefaultPhaseConfig returns the paper's thresholds (80% event
 // similarity, 85% compute similarity, 1% relevance).
