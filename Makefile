@@ -5,7 +5,7 @@ GO ?= go
 # simulated rank, faults counters are bumped from rank goroutines,
 # sigrepo serializes concurrent writers on a lock file, and trace runs
 # the parallel block codec (encode pool, decode batch engine).
-RACE_PKGS = ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/... ./internal/trace/...
+RACE_PKGS = ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/... ./internal/trace/... ./internal/sim/...
 
 .PHONY: build test race bench bench-json bench-baseline check cover fuzz
 
@@ -24,9 +24,9 @@ bench:
 	$(GO) test ./internal/phase -run xxx -bench ExtractApps -benchtime 5x -count 3
 
 # Machine-readable benchmark document: pipeline rows (table 8/9) plus
-# the block-codec worker sweep. BENCH_PR5.json is the committed copy.
+# the block-codec worker sweep. BENCH_PR6.json is the committed copy.
 bench-json:
-	$(GO) run ./cmd/pas2p-bench -table 8 -json BENCH_PR5.json
+	$(GO) run ./cmd/pas2p-bench -table 8 -json BENCH_PR6.json
 
 # Refresh the benchstat baseline CI compares against. Run on a quiet
 # machine; commit bench/baseline.txt with the change that moves it.

@@ -43,6 +43,17 @@ func chaosPipeline(t *testing.T, app pas2p.App, base, target *pas2p.Deployment,
 	return an, tb, res.PET
 }
 
+// scaledRows counts table rows carrying a pair-bias correction.
+func scaledRows(tb *pas2p.PhaseTable) int {
+	n := 0
+	for _, r := range tb.Rows {
+		if r.ETScale != 0 && r.ETScale != 1 {
+			n++
+		}
+	}
+	return n
+}
+
 // phaseShape reduces an analysis to its logical content: per-phase
 // occurrence counts keyed by phase ID. Fault delays move physical
 // timestamps, so durations may differ — the *structure* may not.
@@ -57,9 +68,12 @@ func phaseShape(an *pas2p.PhaseAnalysis) map[int]int {
 // TestChaosRecoveryInvariant is the tentpole property: for a corpus of
 // seeded random apps, a traced run under a fully-recovering message
 // fault schedule (loss bounded by retransmission, duplication, delay)
-// yields the identical phase set and a bit-identical prediction —
-// checkpoints are logical positions, so the faults can only move
-// physical clocks, never the signature.
+// yields the identical phase set and — for tables without a pair-bias
+// correction — a bit-identical prediction: checkpoints are logical
+// positions, so the faults can only move physical clocks, never the
+// logical signature. Tables that do carry an ETScale correction embed
+// one physically measured ratio, whose jitter-induced wobble must stay
+// inside a tight envelope.
 func TestChaosRecoveryInvariant(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos sweep is slow")
@@ -112,9 +126,24 @@ func TestChaosRecoveryInvariant(t *testing.T) {
 						rel0[i].PhaseID, rel0[i].Weight, rel1[i].PhaseID, rel1[i].Weight)
 				}
 			}
-			if pet1 != pet0 {
-				t.Fatalf("recovering faults changed the prediction: PET %v vs fault-free %v",
-					pet1, pet0)
+			// Tables without a pair-bias correction predict from purely
+			// logical signature content, so the prediction must be
+			// bit-identical. A recorded ETScale is a *physically*
+			// measured ratio (mean occurrence duration over pair cut on
+			// the base run), so compute jitter legitimately wobbles it;
+			// the prediction must then stay within the jitter envelope
+			// rather than match exactly.
+			if scaledRows(tb0)+scaledRows(tb1) == 0 {
+				if pet1 != pet0 {
+					t.Fatalf("recovering faults changed the prediction: PET %v vs fault-free %v",
+						pet1, pet0)
+				}
+			} else {
+				diff := absP(pet1.Seconds()-pet0.Seconds()) / pet0.Seconds()
+				if diff > 0.05 {
+					t.Fatalf("corrected prediction drifted %.2f%% under recovered faults: PET %v vs fault-free %v",
+						100*diff, pet1, pet0)
+				}
 			}
 		})
 	}

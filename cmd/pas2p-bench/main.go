@@ -144,14 +144,16 @@ type benchRow struct {
 
 // benchDoc is the combined -json document: the environment the numbers
 // were taken on, the pipeline rows, and the block-codec sweep. Absolute
-// throughput depends on the host — cpus says how much parallel speedup
-// was even available.
+// throughput depends on the host — cpus and gomaxprocs say how much
+// parallel speedup was even available, and let tooling refuse to
+// compare documents taken on different host shapes.
 type benchDoc struct {
 	Host struct {
-		GoVersion string `json:"go_version"`
-		GOOS      string `json:"goos"`
-		GOARCH    string `json:"goarch"`
-		CPUs      int    `json:"cpus"`
+		GoVersion  string `json:"go_version"`
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		CPUs       int    `json:"cpus"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
 	} `json:"host"`
 	Pipeline []benchRow    `json:"pipeline"`
 	Codec    []codecResult `json:"codec"`
@@ -163,6 +165,7 @@ func writeBenchJSON(path string, rows []report.PerfRow, codec []codecResult) err
 	doc.Host.GOOS = runtime.GOOS
 	doc.Host.GOARCH = runtime.GOARCH
 	doc.Host.CPUs = runtime.NumCPU()
+	doc.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	doc.Codec = codec
 	doc.Pipeline = make([]benchRow, 0, len(rows))
 	for _, r := range rows {

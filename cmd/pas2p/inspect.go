@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"pas2p/internal/logical"
+	"pas2p/internal/phase"
 	"pas2p/internal/trace"
 	"pas2p/internal/vtime"
 )
@@ -21,6 +22,8 @@ func cmdInspect(args []string) error {
 	limit := fs.Int("n", 20, "max events to dump")
 	offset := fs.Int("offset", 0, "first event to dump")
 	ticks := fs.Bool("ticks", false, "build the logical model and print tick stats")
+	phases := fs.Bool("phases", false, "extract phases and print per-phase attribution (pair bias, ETScale)")
+	warm := fs.Int("warm", 1, "warm occurrence index for -phases attribution")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -78,6 +81,20 @@ func cmdInspect(args []string) error {
 			fmt.Printf("%-6d %-6s %-8d %-6d %-10d %-12v %-12v %v\n",
 				e.Number, e.Kind, e.Peer, e.Tag, e.Size, e.Enter, e.Exit, e.ComputeBefore)
 		}
+	}
+
+	if *phases {
+		l, err := logical.Order(tr)
+		if err != nil {
+			return err
+		}
+		an, err := phase.Extract(l, phase.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n%s\n", an.Summary())
+		fmt.Printf("per-phase attribution (warm occurrence %d):\n", *warm)
+		phase.PrintAttribution(os.Stdout, an.Attribution(*warm))
 	}
 
 	if *ticks {

@@ -1,0 +1,112 @@
+package phase
+
+import (
+	"fmt"
+	"io"
+
+	"pas2p/internal/vtime"
+)
+
+// PhaseAttribution is the per-phase accounting of how faithfully the
+// signature's designated pair measurement represents the phase: the
+// spread of its occurrence durations, the pair actually designated,
+// and the bias between that pair's completion-cut delta and the mean
+// occurrence duration. It is the diagnostic that exposed the lu
+// wavefront outlier: every occurrence of an SSOR sweep overlaps its
+// neighbours, so the per-occurrence cut deltas range from ~0 (pipeline
+// fill/drain) to the full steady-state step while Equation (1) needs
+// the mean.
+type PhaseAttribution struct {
+	PhaseID  int
+	Weight   int
+	Relevant bool
+	TickLen  int
+	// MeanET is the mean occurrence duration, the quantity Eq. (1)
+	// multiplies by Weight; MinOccDur/MaxOccDur bound the spread.
+	MeanET    vtime.Duration
+	MinOccDur vtime.Duration
+	MaxOccDur vtime.Duration
+	// PairIndex is the designated back-to-back occurrence (-1 when the
+	// phase has none) and PairDur its base-run completion-cut delta —
+	// what the executor's pair-delta estimator would report on the base
+	// machine.
+	PairIndex int
+	PairDur   vtime.Duration
+	// PairBiasPercent is 100·|PairDur−MeanET|/MeanET, and ETScale the
+	// correction BuildTable records when the bias exceeds PairBiasGate.
+	PairBiasPercent float64
+	ETScale         float64
+	// ContributionPercent is the phase's share of Σ Weightᵢ·MeanETᵢ
+	// over all phases: how much of the prediction rides on this row.
+	ContributionPercent float64
+}
+
+// Attribution computes the per-phase attribution table for the same
+// designation BuildTable(warmOccurrence) would use.
+func (a *Analysis) Attribution(warmOccurrence int) []PhaseAttribution {
+	relevant := map[int]bool{}
+	for _, p := range a.Relevant() {
+		relevant[p.ID] = true
+	}
+	var total vtime.Duration
+	for _, p := range a.Phases {
+		total += p.TotalDur()
+	}
+	out := make([]PhaseAttribution, 0, len(a.Phases))
+	for _, p := range a.Phases {
+		at := PhaseAttribution{
+			PhaseID:   p.ID,
+			Weight:    p.Weight(),
+			Relevant:  relevant[p.ID],
+			TickLen:   p.TickLen,
+			MeanET:    p.MeanET(),
+			PairIndex: -1,
+			ETScale:   1,
+		}
+		for i, occ := range p.Occurrences {
+			if i == 0 || occ.Dur < at.MinOccDur {
+				at.MinOccDur = occ.Dur
+			}
+			if occ.Dur > at.MaxOccDur {
+				at.MaxOccDur = occ.Dur
+			}
+		}
+		if _, pair := designate(p, warmOccurrence); pair >= 0 {
+			at.PairIndex = pair
+			at.PairDur = p.Occurrences[pair+1].Dur
+			if at.MeanET > 0 {
+				diff := float64(at.PairDur - at.MeanET)
+				if diff < 0 {
+					diff = -diff
+				}
+				at.PairBiasPercent = 100 * diff / float64(at.MeanET)
+			}
+			at.ETScale = etScaleFor(at.MeanET, at.PairDur)
+		}
+		if total > 0 {
+			at.ContributionPercent = 100 * float64(p.TotalDur()) / float64(total)
+		}
+		out = append(out, at)
+	}
+	return out
+}
+
+// PrintAttribution renders an attribution table, flagging rows whose
+// pair bias exceeds the gate.
+func PrintAttribution(w io.Writer, rows []PhaseAttribution) {
+	fmt.Fprintf(w, "%-8s %-8s %-4s %-8s %-12s %-12s %-12s %-12s %-9s %-8s %s\n",
+		"PhaseID", "Weight", "Rel", "TickLen", "MeanET", "MinOcc", "MaxOcc", "PairDur", "Bias%", "Contrib%", "ETScale")
+	for _, r := range rows {
+		rel := ""
+		if r.Relevant {
+			rel = "yes"
+		}
+		flag := ""
+		if r.PairBiasPercent > 100*PairBiasGate {
+			flag = "  <- biased pair"
+		}
+		fmt.Fprintf(w, "%-8d %-8d %-4s %-8d %-12v %-12v %-12v %-12v %-9.2f %-8.2f %.4f%s\n",
+			r.PhaseID, r.Weight, rel, r.TickLen, r.MeanET, r.MinOccDur, r.MaxOccDur,
+			r.PairDur, r.PairBiasPercent, r.ContributionPercent, r.ETScale, flag)
+	}
+}

@@ -42,6 +42,16 @@ type TableRow struct {
 	// occurrence's end boundary.
 	HasPair    bool
 	End2Events []int64
+	// ETScale corrects the pair-delta measurement for phases whose
+	// occurrences overlap physically (wavefront pipelining): when the
+	// base run shows the designated pair's completion-cut delta
+	// deviating from the phase's mean occurrence duration by more than
+	// PairBiasGate, the executor multiplies its measured delta by this
+	// factor so Equation (1) charges the mean per-repetition cost, not
+	// the steady-state cut of one arbitrary occurrence. 1 means the
+	// pair is unbiased; 0 (absent in pre-correction persisted tables)
+	// is treated as 1 by the executor.
+	ETScale float64
 }
 
 // Table is the phase table shipped with a signature.
@@ -126,24 +136,7 @@ func (a *Analysis) BuildTable(warmOccurrence int) (*Table, error) {
 		TotalPhases: len(a.Phases),
 	}
 	for _, p := range a.Phases {
-		oi := warmOccurrence
-		if oi >= len(p.Occurrences) {
-			oi = len(p.Occurrences) - 1
-		}
-		// Prefer a designated occurrence that is immediately followed
-		// by another occurrence of this phase (back-to-back in tick
-		// order), so the signature can measure the marginal
-		// per-repetition cost.
-		pair := -1
-		for k := oi; k+1 < len(p.Occurrences); k++ {
-			if p.Occurrences[k].EndTick == p.Occurrences[k+1].StartTick {
-				pair = k
-				break
-			}
-		}
-		if pair >= 0 {
-			oi = pair
-		}
+		oi, pair := designate(p, warmOccurrence)
 		occ := p.Occurrences[oi]
 		row := TableRow{
 			PhaseID:     p.ID,
@@ -167,10 +160,73 @@ func (a *Analysis) BuildTable(warmOccurrence int) (*Table, error) {
 			for pr := 0; pr < procs; pr++ {
 				row.End2Events[pr] = eventsBefore(pr, occ2.EndTick)
 			}
+			row.ETScale = etScaleFor(row.PhaseET, occ2.Dur)
 		}
 		tb.Rows = append(tb.Rows, row)
 	}
 	return tb, nil
+}
+
+// designate picks the occurrence a signature checkpoints for phase p:
+// the warm-occurrence index, advanced to the first occurrence from
+// there that is immediately followed by another occurrence of the same
+// phase (back-to-back in tick order), so the signature can measure the
+// marginal per-repetition cost. pair is -1 when no back-to-back pair
+// exists; otherwise oi == pair.
+func designate(p *Phase, warmOccurrence int) (oi, pair int) {
+	oi = warmOccurrence
+	if oi >= len(p.Occurrences) {
+		oi = len(p.Occurrences) - 1
+	}
+	pair = -1
+	for k := oi; k+1 < len(p.Occurrences); k++ {
+		if p.Occurrences[k].EndTick == p.Occurrences[k+1].StartTick {
+			pair = k
+			break
+		}
+	}
+	if pair >= 0 {
+		oi = pair
+	}
+	return oi, pair
+}
+
+// PairBiasGate is the relative deviation between a phase's mean
+// occurrence duration and its designated pair's completion-cut delta
+// beyond which BuildTable records an ETScale correction. Phases whose
+// occurrences tile time cleanly sit well under the gate (their pair
+// delta *is* the mean), so their predictions stay bit-identical;
+// pipelined wavefront phases, whose occurrence durations range from
+// near zero (fill/drain) to the full steady-state step, blow far past
+// it.
+const PairBiasGate = 0.05
+
+// etScaleFor computes the pair-bias correction factor: the ratio of
+// the mean occurrence duration to the base-run pair delta, or exactly
+// 1 when the pair is representative (within PairBiasGate) or the delta
+// carries no information (zero-duration cut).
+//
+// The correction is one-sided: only ratios below 1 (the pair cut runs
+// slower than the phase's mean occurrence) are recorded. That is the
+// structural wavefront-pipelining signature — the back-to-back pair
+// sits on the steady-state plateau while fill/drain occurrences are
+// cheaper — and the ratio is a property of the dependence structure,
+// so it transfers across machines. Ratios above 1 mean the pair
+// happened to land on a *cheap* occurrence, which in practice comes
+// from contention or scheduling noise; the executor's own pair
+// measurement re-experiences the target machine's contention, so
+// scaling it up by the base-machine ratio double-counts the noise and
+// wrecks the prediction (observed on the cross-cluster property
+// corpus under NIC contention).
+func etScaleFor(meanET, pairDur vtime.Duration) float64 {
+	if meanET <= 0 || pairDur <= 0 {
+		return 1
+	}
+	s := float64(meanET) / float64(pairDur)
+	if s >= 1-PairBiasGate {
+		return 1
+	}
+	return s
 }
 
 // Validate checks table invariants: boundaries are per-process

@@ -1,0 +1,62 @@
+package predict
+
+import (
+	"fmt"
+	"testing"
+
+	"pas2p/internal/machine"
+	"pas2p/internal/vtime"
+)
+
+// peteCeilings is the golden accuracy table: each workload's prediction
+// error on cluster C with base == target (so PETE isolates the
+// signature methodology — phase extraction, warm-occurrence pair
+// measurement, Equation (1) — from any cross-machine modelling error)
+// must stay under its recorded ceiling. The ceilings sit a comfortable
+// margin above today's measured PETE, so they catch methodology
+// regressions without flaking on benign drift.
+//
+// lu is the reason this table exists: its SSOR wavefront pipelines
+// phase occurrences, and before the pair-bias (ETScale) correction its
+// classD/128 PETE was 14.3% — the lone outlier against siblings all
+// under 2%. The lu rows are the regression net keeping that fixed.
+var peteCeilings = []struct {
+	app, workload string
+	procs         int
+	ceiling       float64 // percent
+	slow          bool    // skipped under -short
+}{
+	{"cg", "classB", 64, 1.5, false}, // measured 0.573%
+	{"bt", "classB", 64, 3.0, false}, // measured 1.750%
+	{"sp", "classB", 64, 3.0, false}, // measured 1.875%
+	{"ft", "classB", 64, 1.0, false}, // measured 0.000%
+	{"lu", "classB", 64, 5.0, false}, // measured 3.833%
+	{"lu", "classD", 128, 3.0, true}, // measured 2.374% (14.299% before ETScale)
+}
+
+// TestPETECeilings pins per-application prediction-error ceilings.
+func TestPETECeilings(t *testing.T) {
+	cl := machine.ByName("C")
+	for _, tc := range peteCeilings {
+		tc := tc
+		t.Run(fmt.Sprintf("%s-%s-%d", tc.app, tc.workload, tc.procs), func(t *testing.T) {
+			if tc.slow && testing.Short() {
+				t.Skip("large workload skipped under -short")
+			}
+			d := dep(t, cl, tc.procs)
+			out, err := Run(Experiment{
+				App:           mkApp(t, tc.app, tc.procs, tc.workload),
+				Base:          d,
+				Target:        d,
+				EventOverhead: 8 * vtime.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.PETEPercent > tc.ceiling {
+				t.Errorf("PETE %.3f%% exceeds ceiling %.1f%% (PET %v vs AET %v)",
+					out.PETEPercent, tc.ceiling, out.PET, out.AETTarget)
+			}
+		})
+	}
+}

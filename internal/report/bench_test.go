@@ -1,0 +1,36 @@
+package report
+
+import (
+	"testing"
+
+	"pas2p/internal/machine"
+)
+
+// benchPipeline runs the full prediction pipeline (base run, traced
+// run, ordering, extraction, signature build + execute, target run)
+// for one workload on cluster C, base == target — the same shape as
+// the Table 8/9 rows that dominate pas2p-bench wall time.
+func benchPipeline(b *testing.B, app string, procs int, workload string) {
+	cl := clusterByName("C")
+	d, err := machine.NewDeployment(cl, procs, machine.MapBlock)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DefaultOptions()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runExperiment(app, procs, workload, d, d, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelineLU is the wavefront-pipelined workload whose
+// simulator cost motivated the scheduler hot-path work: a scaled-down
+// cousin of the lu/classD row in BENCH_PR6.json.
+func BenchmarkPipelineLU(b *testing.B) { benchPipeline(b, "lu", 64, "classB") }
+
+// BenchmarkPipelineCG is the collective-heavy sibling, benchmarked to
+// catch regressions on the non-wavefront path.
+func BenchmarkPipelineCG(b *testing.B) { benchPipeline(b, "cg", 64, "classB") }

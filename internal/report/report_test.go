@@ -73,8 +73,8 @@ func TestTable5Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 12 {
-		t.Fatalf("Table 5 has %d rows, want 12 (6 apps x 2 core counts)", len(rows))
+	if len(rows) != 14 {
+		t.Fatalf("Table 5 has %d rows, want 14 (7 apps x 2 core counts)", len(rows))
 	}
 	var sumPETE float64
 	for _, r := range rows {
@@ -96,8 +96,8 @@ func TestTable7Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("Table 7 has %d rows, want 5", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("Table 7 has %d rows, want 6", len(rows))
 	}
 	for _, r := range rows {
 		if r.Outcome.PETEPercent > 12 {

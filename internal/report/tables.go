@@ -24,13 +24,15 @@ type predSpec struct {
 }
 
 // table4Specs mirrors the paper's Table 4 (base machine A): 64-process
-// NPB CG/BT/SP class C, 32-process Sweep3D (sweep.250, 13 iterations),
-// 64-process SMG2000 (-n 200 solver 3) and the synthetic 150-step POP.
+// NPB CG/BT/SP/LU class C, 32-process Sweep3D (sweep.250, 13
+// iterations), 64-process SMG2000 (-n 200 solver 3) and the synthetic
+// 150-step POP.
 func table4Specs() []predSpec {
 	return []predSpec{
 		{app: "cg", procs: 64, workload: "classC", cores: []int{32, 64}},
 		{app: "bt", procs: 64, workload: "classC", cores: []int{32, 64}},
 		{app: "sp", procs: 64, workload: "classC", cores: []int{32, 64}},
+		{app: "lu", procs: 64, workload: "classC", cores: []int{32, 64}},
 		{app: "smg2000", procs: 64, workload: "-n 200 solver 3", cores: []int{32, 64}},
 		{app: "sweep3d", procs: 32, workload: "sweep.250 13", cores: []int{16, 32}},
 		{app: "pop", procs: 64, workload: "synthetic150", cores: []int{32, 64}},
@@ -44,6 +46,7 @@ func table6Specs() []predSpec {
 		{app: "cg", procs: 256, workload: "classD", cores: []int{128}},
 		{app: "bt", procs: 256, workload: "classD", cores: []int{128}},
 		{app: "sp", procs: 256, workload: "classD", cores: []int{128}},
+		{app: "lu", procs: 256, workload: "classD", cores: []int{128}},
 		{app: "smg2000", procs: 256, workload: "-n 200 solver 3 iterations 1200", cores: []int{128}},
 		{app: "sweep3d", procs: 256, workload: "sweep.200 13", cores: []int{128}},
 	}

@@ -2,6 +2,7 @@ package signature
 
 import (
 	"fmt"
+	"math"
 
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
@@ -206,6 +207,14 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 			et = meanSpan
 		default: // EstimatorPairDelta
 			et = pairDelta
+			// Pair-bias correction (wavefront pipelining): the table
+			// records how far the designated pair's delta sat from the
+			// phase's mean occurrence duration on the base machine;
+			// scale the target-side delta by the same ratio. Tables
+			// persisted before the correction carry 0 here, meaning 1.
+			if sc := seg.row.ETScale; paired && sc > 0 && sc != 1 {
+				et = vtime.Duration(math.Round(float64(et) * sc))
+			}
 		}
 		m := PhaseMeasurement{
 			PhaseID: seg.row.PhaseID,

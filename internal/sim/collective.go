@@ -68,8 +68,7 @@ func (e *Engine) handleCollective(ps *procState, req request) (result, bool) {
 
 	if cs.arrived < len(members) {
 		ps.status = stStuck
-		ps.blockedOn = fmt.Sprintf("%v(ctx=%d seq=%d, %d/%d arrived)",
-			req.collOp, req.collCtx, seq, cs.arrived, len(members))
+		ps.block = blockInfo{kind: bkColl, collOp: req.collOp, collCtx: req.collCtx, collSeq: seq}
 		return result{}, true
 	}
 
@@ -126,7 +125,8 @@ func (e *Engine) handleCollective(ps *procState, req request) (result, bool) {
 		mp.clock = ends[i]
 		mp.wake = ends[i]
 		mp.status = stReady
-		mp.blockedOn = ""
+		mp.block = blockInfo{}
+		e.pushReady(mp)
 	}
 	return result{now: ps.clock, coll: mine}, false
 }

@@ -21,12 +21,9 @@ const (
 	opWait
 	opCollective
 	opSetMode
-	opDone
-	opPanic
 )
 
 type request struct {
-	rank int
 	kind opKind
 
 	dur vtime.Duration // advance
@@ -42,8 +39,6 @@ type request struct {
 	collRoot    int
 
 	mode Mode
-
-	panicVal string
 }
 
 // PtPInfo reports the resolved timing of one point-to-point operation.
@@ -71,19 +66,21 @@ type CollInfo struct {
 	Payloads []any
 }
 
-// result is what a resumed rank receives.
+// result is what a parked rank receives when resumed (and what an
+// inline operation returns directly).
 type result struct {
 	aborted bool
 	now     vtime.Time
 	ptp     PtPInfo
-	ptps    []PtPInfo // wait
+	ptps    []PtPInfo // wait on several requests; nil for singletons
 	coll    CollInfo
 	reqID   int // isend/irecv
 }
 
-// handle services one request from the running rank ps. It returns the
-// inline result and blocked=false when the rank may continue, or
-// blocked=true when the rank is now stuck or done.
+// handle applies one operation for the running rank ps, inline on the
+// rank's own goroutine. It returns the result and blocked=false when
+// the rank may continue, or blocked=true when the rank is now stuck
+// (or the engine failed) and must yield to the scheduler.
 func (e *Engine) handle(ps *procState, req request) (result, bool) {
 	switch req.kind {
 	case opAdvance:
@@ -121,18 +118,6 @@ func (e *Engine) handle(ps *procState, req request) (result, bool) {
 	case opCollective:
 		return e.handleCollective(ps, req)
 
-	case opDone:
-		ps.status = stDone
-		e.doneCount++
-		return result{}, true
-
-	case opPanic:
-		// The goroutine has already exited; mark the rank done so
-		// abort does not try to poison it.
-		ps.status = stDone
-		e.err = fmt.Errorf("rank %d panicked: %s", ps.rank, req.panicVal)
-		return result{}, true
-
 	default:
 		e.err = fmt.Errorf("rank %d: unknown op %d", ps.rank, req.kind)
 		return result{}, true
@@ -149,12 +134,12 @@ func (e *Engine) handleSend(ps *procState, req request) (result, bool) {
 		return result{}, true
 	}
 	path := e.cfg.Deployment.Path(ps.rank, req.peer)
-	m := &message{
-		src: ps.rank, dst: req.peer, tag: req.tag, size: req.size,
-		uid: ps.sendIndex, payload: req.payload,
-		sendPost:   ps.clock,
-		senderFree: ps.mode.CommFree,
-	}
+	m := e.newMessage()
+	m.src, m.dst, m.tag, m.size = ps.rank, req.peer, req.tag, req.size
+	m.uid = ps.sendIndex
+	m.payload = req.payload
+	m.sendPost = ps.clock
+	m.senderFree = ps.mode.CommFree
 	ps.sendIndex++
 	e.stats.Messages++
 	e.stats.Bytes += int64(req.size)
@@ -194,40 +179,48 @@ func (e *Engine) handleSend(ps *procState, req request) (result, bool) {
 		m.rdv = true
 	}
 
-	e.chanFor(ps.rank, req.peer).push(m)
-	e.tryMatchArrival(m)
-
 	if m.timingKnown {
-		// Eager (or free): the sender proceeds immediately.
-		info.End = m.senderDone
-		e.slice(ps.rank, "send", "comm", info.Start, m.senderDone)
+		// Eager (or free): the sender proceeds immediately. Matching
+		// may recycle m, so capture its timing first and never touch
+		// it again.
+		senderDone := m.senderDone
+		e.chanFor(ps.rank, req.peer).push(m)
+		e.tryMatchArrival(m)
+		info.End = senderDone
+		e.slice(ps.rank, "send", "comm", info.Start, senderDone)
 		if req.kind == opSend {
-			ps.clock = m.senderDone
+			ps.clock = senderDone
 			return result{now: ps.clock, ptp: info}, false
 		}
 		rs := e.newReq(ps, reqSend)
 		rs.done = true
-		rs.complete = m.senderDone
+		rs.complete = senderDone
 		rs.info = info
 		// Isend still charges the local injection overhead.
-		ps.clock = m.senderDone
+		ps.clock = senderDone
 		return result{now: ps.clock, reqID: rs.id}, false
 	}
 
-	// Rendezvous: completion awaits the matching receive.
+	// Rendezvous: completion awaits the matching receive. The sender
+	// request is attached before matching so a match completes it (and
+	// may recycle m) inside bind.
 	rs := e.newReq(ps, reqSend)
 	rs.info = info
 	m.senderReq = rs
-	if m.matched {
-		// tryMatchArrival may already have bound it.
-		e.finishRendezvous(m)
-	}
+	e.chanFor(ps.rank, req.peer).push(m)
+	e.tryMatchArrival(m)
+	// Matching may have recycled m: consult rs from here on.
 	if req.kind == opIsend {
+		if rs.done {
+			// Matched inline (the receive was already posted): the
+			// isend charges the sender-side rendezvous span to the
+			// call itself, exactly like the eager path.
+			ps.clock = rs.complete
+		}
 		return result{now: ps.clock, reqID: rs.id}, false
 	}
 	// Blocking rendezvous send = isend + wait.
-	return e.blockOnReqs(ps, []int{rs.id},
-		fmt.Sprintf("Send(dst=%d tag=%d size=%d, rendezvous)", req.peer, req.tag, req.size))
+	return e.blockOnReq1(ps, rs.id, bkSend, req.peer, req.tag, req.size)
 }
 
 func (e *Engine) handleRecv(ps *procState, req request) (result, bool) {
@@ -236,51 +229,73 @@ func (e *Engine) handleRecv(ps *procState, req request) (result, bool) {
 		return result{}, true
 	}
 	rs := e.newReq(ps, reqRecv)
-	pr := &postedRecv{owner: ps, src: req.peer, tag: req.tag, post: ps.clock, req: rs}
-	rs.pr = pr
 	e.pruneMatched(ps) // safe here: never called mid-iteration
+	pr := e.newPostedRecv()
+	pr.owner = ps
+	pr.src = req.peer
+	pr.tag = req.tag
+	pr.post = ps.clock
+	pr.req = rs
 	ps.postedRecvs = append(ps.postedRecvs, pr)
 	e.tryMatchPosted(pr, req.peer == AnySource)
 
 	if req.kind == opIrecv {
 		return result{now: ps.clock, reqID: rs.id}, false
 	}
-	return e.blockOnReqs(ps, []int{rs.id},
-		fmt.Sprintf("Recv(src=%d tag=%d)", req.peer, req.tag))
+	return e.blockOnReq1(ps, rs.id, bkRecv, req.peer, req.tag, 0)
 }
 
 func (e *Engine) handleWait(ps *procState, req request) (result, bool) {
 	for _, id := range req.waitIDs {
-		if _, ok := ps.reqs[id]; !ok {
+		if ps.findReq(id) == nil {
 			e.err = fmt.Errorf("rank %d: wait on unknown request %d", ps.rank, id)
 			return result{}, true
 		}
 	}
-	return e.blockOnReqs(ps, req.waitIDs, fmt.Sprintf("Wait(%v)", req.waitIDs))
+	return e.blockOnWait(ps, req.waitIDs)
 }
 
-// blockOnReqs either completes immediately (all requests resolved) or
-// parks the rank until the last request completes.
-func (e *Engine) blockOnReqs(ps *procState, ids []int, desc string) (result, bool) {
+// blockOnReq1 parks the rank on a single request (the blocking
+// Send/Recv path) unless it already resolved. The singleton wait set
+// lives in the rank's inline buffer, so no per-call slice is
+// allocated.
+func (e *Engine) blockOnReq1(ps *procState, id int, kind blockKind, peer, tag, size int) (result, bool) {
+	ps.wait1[0] = id
+	ps.waitSet = ps.wait1[:1]
+	ps.waitPost = ps.clock
+	if res, ok := e.completeWait(ps); ok {
+		return res, false
+	}
+	ps.status = stStuck
+	ps.block = blockInfo{kind: kind, peer: peer, tag: tag, size: size}
+	return result{}, true
+}
+
+// blockOnWait parks the rank on an explicit wait set (Proc.Wait)
+// unless every request already resolved.
+func (e *Engine) blockOnWait(ps *procState, ids []int) (result, bool) {
 	ps.waitSet = ids
 	ps.waitPost = ps.clock
 	if res, ok := e.completeWait(ps); ok {
 		return res, false
 	}
 	ps.status = stStuck
-	ps.blockedOn = desc
+	ps.block = blockInfo{kind: bkWait}
 	return result{}, true
 }
 
 // completeWait checks a rank's wait set; when every request is done it
-// builds the wait result, advances the clock and clears the set.
+// builds the wait result, advances the clock, clears the set and
+// recycles the consumed requests. Singleton waits return their info in
+// res.ptp with res.ptps nil, so the hot blocking path allocates
+// nothing.
 func (e *Engine) completeWait(ps *procState) (result, bool) {
 	if ps.waitSet == nil {
 		return result{}, false
 	}
 	end := ps.waitPost
 	for _, id := range ps.waitSet {
-		rs := ps.reqs[id]
+		rs := ps.findReq(id)
 		if !rs.done {
 			return result{}, false
 		}
@@ -288,26 +303,74 @@ func (e *Engine) completeWait(ps *procState) (result, bool) {
 			end = rs.complete
 		}
 	}
-	res := result{ptps: make([]PtPInfo, len(ps.waitSet))}
-	for i, id := range ps.waitSet {
-		rs := ps.reqs[id]
-		res.ptps[i] = rs.info
-		delete(ps.reqs, id)
+	var res result
+	if len(ps.waitSet) == 1 {
+		rs := ps.takeReq(ps.waitSet[0])
+		res.ptp = rs.info
+		e.freeReq(rs)
+	} else {
+		res.ptps = make([]PtPInfo, len(ps.waitSet))
+		for i, id := range ps.waitSet {
+			rs := ps.takeReq(id)
+			res.ptps[i] = rs.info
+			e.freeReq(rs)
+		}
 	}
 	ps.clock = end
 	res.now = end
-	if len(res.ptps) == 1 {
-		res.ptp = res.ptps[0]
-	}
 	ps.waitSet = nil
 	return res, true
 }
 
+// findReq returns the live request with the given id, or nil.
+// Outstanding request sets are tiny, so a linear scan over the slice
+// beats map hashing on the hot path.
+func (ps *procState) findReq(id int) *reqState {
+	for _, rs := range ps.reqs {
+		if rs.id == id {
+			return rs
+		}
+	}
+	return nil
+}
+
+// takeReq removes and returns the live request with the given id
+// (swap-delete: nothing depends on the slice's order).
+func (ps *procState) takeReq(id int) *reqState {
+	for i, rs := range ps.reqs {
+		if rs.id == id {
+			last := len(ps.reqs) - 1
+			ps.reqs[i] = ps.reqs[last]
+			ps.reqs[last] = nil
+			ps.reqs = ps.reqs[:last]
+			return rs
+		}
+	}
+	return nil
+}
+
 func (e *Engine) newReq(ps *procState, kind reqKind) *reqState {
 	ps.nextReqID++
-	rs := &reqState{id: ps.nextReqID, kind: kind}
-	ps.reqs[rs.id] = rs
+	var rs *reqState
+	if n := len(e.reqFree); n > 0 {
+		rs = e.reqFree[n-1]
+		e.reqFree = e.reqFree[:n-1]
+	} else {
+		rs = &reqState{}
+	}
+	rs.id = ps.nextReqID
+	rs.kind = kind
+	ps.reqs = append(ps.reqs, rs)
 	return rs
+}
+
+// freeReq recycles a consumed request. Callers guarantee nothing
+// references it any more: send requests are detached from their
+// message by finishRendezvous, receive requests from their posted
+// receive by bind.
+func (e *Engine) freeReq(rs *reqState) {
+	*rs = reqState{}
+	e.reqFree = append(e.reqFree, rs)
 }
 
 // nicClaimTx applies transmit-side NIC serialisation for inter-node
@@ -409,11 +472,7 @@ func (e *Engine) candidate(pr *postedRecv) (best *message, bestArr vtime.Time, b
 	bestArr = vtime.Infinity
 	minLat := e.cfg.Deployment.MinLatency()
 	for src := 0; src < e.n; src++ {
-		q, ok := e.channels[chanKey{src, pr.owner.rank}]
-		var m *message
-		if ok {
-			m = q.firstCompatible(pr.tag)
-		}
+		m := e.chanFor(src, pr.owner.rank).firstCompatible(pr.tag)
 		if m != nil {
 			arr := e.hypotheticalArrival(m, pr)
 			if arr < bestArr || (arr == bestArr && best != nil && m.src < best.src) {
@@ -556,7 +615,8 @@ func (e *Engine) pruneAnyStuck() {
 }
 
 // bind commits a (receive, message) match, computes all timings, and
-// wakes whichever ranks the resolution unblocks.
+// wakes whichever ranks the resolution unblocks. On return m may have
+// been recycled: callers must not touch it again.
 func (e *Engine) bind(pr *postedRecv, m *message) {
 	pr.matched = true
 	m.matched = true
@@ -579,6 +639,7 @@ func (e *Engine) bind(pr *postedRecv, m *message) {
 		complete = complete.Add(path.RecvOverhead)
 	}
 	rs := pr.req
+	pr.req = nil
 	rs.done = true
 	rs.complete = complete
 	rs.info = PtPInfo{
@@ -588,16 +649,17 @@ func (e *Engine) bind(pr *postedRecv, m *message) {
 	}
 	e.slice(ps.rank, "recv", "comm", pr.post, complete)
 
-	e.chanFor(m.src, m.dst).compact()
-
+	src := m.src
 	if m.senderReq != nil {
 		e.finishRendezvous(m)
 	}
+	// Compacting recycles the matched prefix, possibly including m.
+	e.compactChan(e.chanFor(src, ps.rank))
 	e.maybeWake(ps)
 }
 
 // finishRendezvous completes the sender side of a matched rendezvous
-// message.
+// message and detaches the request so the message can be recycled.
 func (e *Engine) finishRendezvous(m *message) {
 	rs := m.senderReq
 	if rs == nil || rs.done {
@@ -618,7 +680,7 @@ func (e *Engine) maybeWake(ps *procState) {
 		return
 	}
 	for _, id := range ps.waitSet {
-		if rs := ps.reqs[id]; rs == nil || !rs.done {
+		if rs := ps.findReq(id); rs == nil || !rs.done {
 			return
 		}
 	}
@@ -629,15 +691,26 @@ func (e *Engine) maybeWake(ps *procState) {
 	ps.pending = res
 	ps.wake = res.now
 	ps.status = stReady
-	ps.blockedOn = ""
+	ps.block = blockInfo{}
+	e.pushReady(ps)
 }
 
+// pruneMatched drops a rank's matched posted receives and recycles
+// them; nothing references a matched posted receive once bind has
+// detached its request.
 func (e *Engine) pruneMatched(ps *procState) {
 	kept := ps.postedRecvs[:0]
 	for _, pr := range ps.postedRecvs {
 		if !pr.matched {
 			kept = append(kept, pr)
+			continue
 		}
+		*pr = postedRecv{}
+		e.prFree = append(e.prFree, pr)
+	}
+	tail := ps.postedRecvs[len(kept):]
+	for i := range tail {
+		tail[i] = nil
 	}
 	ps.postedRecvs = kept
 }

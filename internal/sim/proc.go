@@ -26,18 +26,30 @@ func (p *Proc) Size() int { return p.eng.n }
 // Now returns the rank's current virtual clock.
 func (p *Proc) Now() vtime.Time { return p.st.clock }
 
-// await blocks the goroutine until the scheduler resumes it.
+// await parks the goroutine until the scheduler resumes it; the
+// result payload travels in the rank's pending slot, written strictly
+// before the resume signal.
 func (p *Proc) await() result {
-	res := <-p.st.resume
+	<-p.st.resume
+	res := p.st.pending
+	p.st.pending = result{}
 	if res.aborted {
 		panic(errAborted)
 	}
 	return res
 }
 
+// call applies one operation directly on the rank's own goroutine —
+// legal because exactly one goroutine runs at a time, so the rank has
+// exclusive access to the engine while scheduled. Only when the
+// operation blocks does the rank hand control back to the scheduler
+// and park; non-blocking operations cost no channel handoff at all.
 func (p *Proc) call(req request) result {
-	req.rank = p.st.rank
-	p.eng.reqCh <- req
+	res, blocked := p.eng.handle(p.st, req)
+	if !blocked {
+		return res
+	}
+	p.eng.yieldCh <- struct{}{}
 	return p.await()
 }
 
@@ -93,6 +105,11 @@ func (p *Proc) Wait(ids ...int) []PtPInfo {
 		return nil
 	}
 	res := p.call(request{kind: opWait, waitIDs: ids})
+	if res.ptps == nil {
+		// Singleton waits travel in res.ptp so the engine's hot path
+		// never allocates; materialise the slice client-side.
+		return []PtPInfo{res.ptp}
+	}
 	return res.ptps
 }
 

@@ -1,9 +1,10 @@
 // Package sim is a deterministic discrete-event simulator for
 // message-passing programs. Each rank of a parallel application runs
 // as a goroutine executing real Go code; whenever it performs a
-// communication or declares computation, control passes to a
-// sequential scheduler that advances virtual clocks using the machine
-// and network models of packages machine and network.
+// communication or declares computation, the rank goroutine applies
+// the operation to the engine directly, using the machine and network
+// models of packages machine and network; it hands control to the
+// sequential scheduler only when the operation blocks.
 //
 // Exactly one goroutine (either the scheduler or a single rank) runs
 // at any instant, and every scheduling decision uses deterministic
@@ -26,6 +27,7 @@ import (
 
 	"pas2p/internal/faults"
 	"pas2p/internal/machine"
+	"pas2p/internal/network"
 	"pas2p/internal/obs"
 	"pas2p/internal/vtime"
 )
@@ -99,6 +101,29 @@ const (
 	stDone
 )
 
+// blockKind says which operation a stuck rank is parked on; together
+// with blockInfo it lets deadlock reports render the same descriptions
+// the engine used to build eagerly per blocking call, without paying
+// fmt.Sprintf on the hot path.
+type blockKind int8
+
+const (
+	bkNone blockKind = iota
+	bkSend
+	bkRecv
+	bkWait
+	bkColl
+)
+
+// blockInfo is the lazily-rendered "what is this rank blocked on"
+// record; only deadlockError ever formats it.
+type blockInfo struct {
+	kind             blockKind
+	peer, tag, size  int
+	collOp           network.CollectiveOp
+	collCtx, collSeq int
+}
+
 // procState is the scheduler's view of one rank.
 type procState struct {
 	rank   int
@@ -106,19 +131,22 @@ type procState struct {
 	wake   vtime.Time
 	status procStatus
 
-	resume chan result
-
-	// pending holds the result to deliver at the next resume.
+	// resume wakes the rank goroutine; the payload travels in pending,
+	// written strictly before the signal.
+	resume  chan struct{}
 	pending result
 
 	mode Mode
 
-	// nonblocking request bookkeeping
+	// nonblocking request bookkeeping: the live requests of this rank.
+	// Outstanding sets are small, so a linear slice beats a map.
 	nextReqID int
-	reqs      map[int]*reqState
-	// waitSet is the set of request ids a stuck rank is waiting on
-	// (blocking ops use a singleton set).
+	reqs      []*reqState
+	// waitSet is the set of request ids a stuck rank is waiting on;
+	// blocking ops use wait1 as the backing store to avoid allocating
+	// a singleton per call.
 	waitSet  []int
+	wait1    [1]int
 	waitPost vtime.Time
 
 	// postedRecvs in post order, matched entries pruned lazily.
@@ -127,7 +155,7 @@ type procState struct {
 	// per-context collective sequence counters
 	collSeq map[int]int
 
-	blockedOn string
+	block     blockInfo
 	sendIndex int64 // per-sender message counter (message uids)
 	advSeq    int64 // per-rank compute-block counter (jitter keys)
 }
@@ -186,10 +214,7 @@ type reqState struct {
 	done     bool
 	complete vtime.Time
 	info     PtPInfo
-	pr       *postedRecv
 }
-
-type chanKey struct{ src, dst int }
 
 type collKey struct {
 	ctx, seq int
@@ -208,16 +233,37 @@ type collState struct {
 	freeAll  bool
 }
 
-// Engine drives one run. It lives on the scheduler goroutine; rank
-// goroutines interact with it only through channels.
+// Engine drives one run. Engine state is mutated by exactly one
+// goroutine at a time: the scheduler while picking, or the single
+// running rank while applying an operation.
 type Engine struct {
-	cfg   Config
-	n     int
-	procs []*procState
-	reqCh chan request
+	cfg Config
+	n   int
 
-	channels map[chanKey]*msgQueue
+	procs []*procState
+	// yieldCh is how the running rank returns control to the scheduler
+	// when it parks, finishes or fails.
+	yieldCh chan struct{}
+
+	// ready is a binary min-heap of runnable ranks keyed on
+	// (wake time, rank) — the indexed replacement for the former
+	// O(P)-per-step linear scan. A rank is pushed exactly when it turns
+	// stReady and popped exactly when scheduled, so no decrease-key is
+	// ever needed.
+	ready []*procState
+
+	// channels is the flat [src*n+dst] point-to-point queue table;
+	// a direct index replaces per-message map hashing.
+	channels []msgQueue
 	colls    map[collKey]*collState
+
+	// Freelists recycle the per-operation records across the run:
+	// messages (recycled when their queue compacts), posted receives
+	// (recycled when matched entries are pruned) and requests
+	// (recycled when a wait consumes them).
+	msgFree []*message
+	prFree  []*postedRecv
+	reqFree []*reqState
 
 	// Per-node NIC availability (transmit / receive sides), used when
 	// Config.NICContention is set.
@@ -238,27 +284,51 @@ type Engine struct {
 	tl       *obs.Timeline
 	tlPid    int
 	msgBytes *obs.Histogram
+
+	// Test hooks: useScan swaps the ready heap for the reference
+	// linear scan (equivalence property tests), schedLog records the
+	// rank schedule when non-nil.
+	useScan  bool
+	schedLog *[]int
 }
 
-type msgQueue struct{ q []*message }
+// msgQueue is one (src, dst) point-to-point channel: messages in send
+// order, consumed from head. Matched messages are skipped during scans
+// and reclaimed by compactChan; head indexing keeps reclamation O(1)
+// amortised where slicing the prefix off would cost O(queue) per match
+// (quadratic for a flooding sender).
+type msgQueue struct {
+	q    []*message
+	head int
+}
 
 // Run executes the configured program to completion and returns the
 // timing result. It returns an error on deadlock, on inconsistent
 // collective calls, or if any rank panics.
 func Run(cfg Config) (Result, error) {
+	e, err := newEngine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return e.run()
+}
+
+// newEngine validates the configuration and builds the run state; rank
+// goroutines start in run.
+func newEngine(cfg Config) (*Engine, error) {
 	if cfg.Deployment == nil {
-		return Result{}, fmt.Errorf("sim %q: nil deployment", cfg.Name)
+		return nil, fmt.Errorf("sim %q: nil deployment", cfg.Name)
 	}
 	if cfg.Body == nil {
-		return Result{}, fmt.Errorf("sim %q: nil body", cfg.Name)
+		return nil, fmt.Errorf("sim %q: nil body", cfg.Name)
 	}
 	e := &Engine{
-		cfg:      cfg,
-		n:        cfg.Deployment.Ranks,
-		reqCh:    make(chan request),
-		channels: make(map[chanKey]*msgQueue),
-		colls:    make(map[collKey]*collState),
+		cfg:     cfg,
+		n:       cfg.Deployment.Ranks,
+		yieldCh: make(chan struct{}),
+		colls:   make(map[collKey]*collState),
 	}
+	e.channels = make([]msgQueue, e.n*e.n)
 	if cfg.NICContention {
 		nodes := cfg.Deployment.Cluster.Nodes
 		e.nicTx = make([]vtime.Time, nodes)
@@ -283,23 +353,29 @@ func Run(cfg Config) (Result, error) {
 	}
 	e.procs = make([]*procState, e.n)
 	for i := 0; i < e.n; i++ {
-		ps := &procState{
+		e.procs[i] = &procState{
 			rank:    i,
 			status:  stReady,
-			resume:  make(chan result),
-			reqs:    make(map[int]*reqState),
-			collSeq: make(map[int]int),
+			resume:  make(chan struct{}),
+			collSeq: map[int]int{},
 			mode:    NormalMode,
-			pending: result{},
 		}
-		e.procs[i] = ps
+	}
+	return e, nil
+}
+
+// run starts the rank goroutines, drives the scheduler loop, and
+// collects the result.
+func (e *Engine) run() (Result, error) {
+	for _, ps := range e.procs {
 		p := &Proc{eng: e, st: ps}
-		go rankMain(p, cfg.Body)
+		go rankMain(p, e.cfg.Body)
+		e.pushReady(ps)
 	}
 	e.loop()
 	if e.err != nil {
 		e.abort()
-		return Result{}, fmt.Errorf("sim %q: %w", cfg.Name, e.err)
+		return Result{}, fmt.Errorf("sim %q: %w", e.cfg.Name, e.err)
 	}
 	e.stats.RankFinish = make([]vtime.Time, e.n)
 	for i, ps := range e.procs {
@@ -308,7 +384,7 @@ func Run(cfg Config) (Result, error) {
 			e.stats.Finish = ps.clock
 		}
 	}
-	if reg := cfg.Observer.Reg(); reg != nil {
+	if reg := e.cfg.Observer.Reg(); reg != nil {
 		reg.Counter("sim.runs").Inc()
 		reg.Counter("sim.messages").Add(e.stats.Messages)
 		reg.Counter("sim.bytes").Add(e.stats.Bytes)
@@ -338,20 +414,26 @@ func (e *Engine) instant(rank int, name string, t vtime.Time) {
 	e.tl.Instant(e.tlPid, rank, name, usec(t))
 }
 
-// rankMain is the goroutine wrapper for one rank.
+// rankMain is the goroutine wrapper for one rank. Completion and
+// panics mutate engine state directly — safe because the rank is the
+// single running goroutine — and then yield to the scheduler.
 func rankMain(p *Proc, body func(*Proc)) {
+	e := p.eng
 	defer func() {
 		if r := recover(); r != nil {
 			if r == errAborted {
 				return // engine is shutting down
 			}
-			p.eng.reqCh <- request{rank: p.st.rank, kind: opPanic,
-				panicVal: fmt.Sprintf("%v", r)}
+			p.st.status = stDone
+			e.err = fmt.Errorf("rank %d panicked: %v", p.st.rank, r)
+			e.yieldCh <- struct{}{}
 		}
 	}()
 	p.await() // wait for the first schedule
 	body(p)
-	p.eng.reqCh <- request{rank: p.st.rank, kind: opDone}
+	p.st.status = stDone
+	e.doneCount++
+	e.yieldCh <- struct{}{}
 }
 
 // loop is the scheduler: repeatedly run the earliest ready rank; when
@@ -360,19 +442,93 @@ func rankMain(p *Proc, body func(*Proc)) {
 func (e *Engine) loop() {
 	for e.doneCount < e.n && e.err == nil {
 		e.retryAnyStuck(false)
-		r := e.pickReady()
-		if r == nil {
+		ps := e.popReady()
+		if ps == nil {
 			if e.retryAnyStuck(true) {
 				continue
 			}
 			e.err = e.deadlockError()
 			return
 		}
-		e.runRank(r)
+		if e.schedLog != nil {
+			*e.schedLog = append(*e.schedLog, ps.rank)
+		}
+		ps.status = stRunning
+		if ps.wake > ps.clock {
+			ps.clock = ps.wake
+		}
+		ps.resume <- struct{}{}
+		// The rank now runs alone, applying its operations inline; it
+		// signals back when it parks, finishes or fails.
+		<-e.yieldCh
 	}
 }
 
-func (e *Engine) pickReady() *procState {
+// readyLess orders the ready heap: earliest wake first, ties broken by
+// lowest rank — the exact order of the former first-wins linear scan.
+func readyLess(a, b *procState) bool {
+	if a.wake != b.wake {
+		return a.wake < b.wake
+	}
+	return a.rank < b.rank
+}
+
+// pushReady inserts a newly-runnable rank into the ready heap.
+func (e *Engine) pushReady(ps *procState) {
+	if e.useScan {
+		return
+	}
+	h := append(e.ready, ps)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !readyLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.ready = h
+}
+
+// popReady removes and returns the runnable rank with the earliest
+// (wake, rank) key, or nil when none is ready.
+func (e *Engine) popReady() *procState {
+	if e.useScan {
+		return e.pickReadyScan()
+	}
+	h := e.ready
+	if len(h) == 0 {
+		return nil
+	}
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	h = h[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		if l >= len(h) {
+			break
+		}
+		c := l
+		if r < len(h) && readyLess(h[r], h[l]) {
+			c = r
+		}
+		if !readyLess(h[c], h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	e.ready = h
+	return top
+}
+
+// pickReadyScan is the pre-heap reference scheduler: scan every rank,
+// keep the first with the strictly smallest wake. Kept as the oracle
+// for the heap-equivalence property test.
+func (e *Engine) pickReadyScan() *procState {
 	var best *procState
 	for _, ps := range e.procs {
 		if ps.status != stReady {
@@ -385,33 +541,6 @@ func (e *Engine) pickReady() *procState {
 	return best
 }
 
-// runRank resumes one rank and services its requests until it blocks,
-// finishes, or fails.
-func (e *Engine) runRank(ps *procState) {
-	ps.status = stRunning
-	if ps.wake > ps.clock {
-		ps.clock = ps.wake
-	}
-	ps.resume <- ps.pending
-	for e.err == nil {
-		req := <-e.reqCh
-		if req.rank != ps.rank {
-			// Can only happen if a rank goroutine escaped the
-			// protocol; treat as fatal.
-			e.err = fmt.Errorf("protocol violation: request from rank %d while %d runs", req.rank, ps.rank)
-			return
-		}
-		res, blocked := e.handle(ps, req)
-		if e.err != nil || blocked {
-			return
-		}
-		if ps.status == stDone {
-			return
-		}
-		ps.resume <- res
-	}
-}
-
 // abort unblocks every live rank goroutine with a poison result so the
 // process does not leak goroutines after a failed run.
 func (e *Engine) abort() {
@@ -419,15 +548,38 @@ func (e *Engine) abort() {
 		if ps.status == stDone {
 			continue
 		}
-		// Running rank is already back in the scheduler (handle
-		// returned with err set) waiting on resume; stuck and ready
-		// ranks also wait on resume.
+		ps.pending = result{aborted: true}
+		// Stuck and ready ranks wait in await; the formerly-running
+		// rank is parked there too by the time loop exits.
 		select {
-		case ps.resume <- result{aborted: true}:
+		case ps.resume <- struct{}{}:
 		default:
-			// The rank is mid-request send; drain it first.
-			go func(c chan result) { c <- result{aborted: true} }(ps.resume)
+			// The rank has not reached its receive yet; deliver the
+			// poison from the side.
+			go func(c chan struct{}) { c <- struct{}{} }(ps.resume)
 		}
+	}
+}
+
+// blockedDesc renders what a stuck rank is parked on; called only from
+// deadlockError, so the hot path never formats strings.
+func (e *Engine) blockedDesc(ps *procState) string {
+	switch ps.block.kind {
+	case bkSend:
+		return fmt.Sprintf("Send(dst=%d tag=%d size=%d, rendezvous)", ps.block.peer, ps.block.tag, ps.block.size)
+	case bkRecv:
+		return fmt.Sprintf("Recv(src=%d tag=%d)", ps.block.peer, ps.block.tag)
+	case bkWait:
+		return fmt.Sprintf("Wait(%v)", ps.waitSet)
+	case bkColl:
+		arrived, total := 0, 0
+		if cs := e.colls[collKey{ctx: ps.block.collCtx, seq: ps.block.collSeq}]; cs != nil {
+			arrived, total = cs.arrived, len(cs.members)
+		}
+		return fmt.Sprintf("%v(ctx=%d seq=%d, %d/%d arrived)",
+			ps.block.collOp, ps.block.collCtx, ps.block.collSeq, arrived, total)
+	default:
+		return ""
 	}
 }
 
@@ -443,7 +595,7 @@ func (e *Engine) deadlockError() error {
 	sort.Ints(ranks)
 	for _, r := range ranks {
 		ps := e.procs[r]
-		fmt.Fprintf(&b, "\n  rank %d @ %v: %s", r, ps.clock, ps.blockedOn)
+		fmt.Fprintf(&b, "\n  rank %d @ %v: %s", r, ps.clock, e.blockedDesc(ps))
 	}
 	return fmt.Errorf("%s", b.String())
 }
@@ -458,19 +610,34 @@ func (e *Engine) effTime(ps *procState) vtime.Time {
 }
 
 func (e *Engine) chanFor(src, dst int) *msgQueue {
-	k := chanKey{src, dst}
-	q := e.channels[k]
-	if q == nil {
-		q = &msgQueue{}
-		e.channels[k] = q
+	return &e.channels[src*e.n+dst]
+}
+
+// newMessage takes a message record from the freelist, or allocates.
+func (e *Engine) newMessage() *message {
+	if n := len(e.msgFree); n > 0 {
+		m := e.msgFree[n-1]
+		e.msgFree = e.msgFree[:n-1]
+		return m
 	}
-	return q
+	return &message{}
+}
+
+// newPostedRecv takes a posted-receive record from the freelist, or
+// allocates.
+func (e *Engine) newPostedRecv() *postedRecv {
+	if n := len(e.prFree); n > 0 {
+		pr := e.prFree[n-1]
+		e.prFree = e.prFree[:n-1]
+		return pr
+	}
+	return &postedRecv{}
 }
 
 // firstCompatible returns the earliest-sequence unmatched message in q
 // matching the tag filter.
 func (q *msgQueue) firstCompatible(tag int) *message {
-	for _, m := range q.q {
+	for _, m := range q.q[q.head:] {
 		if m.matched {
 			continue
 		}
@@ -485,13 +652,30 @@ func (q *msgQueue) push(m *message) {
 	q.q = append(q.q, m)
 }
 
-// compact drops the matched prefix so queues stay short.
-func (q *msgQueue) compact() {
-	i := 0
-	for i < len(q.q) && q.q[i].matched {
-		i++
+// compactChan advances a queue past its matched prefix and recycles
+// the dropped messages (nothing references a matched message once its
+// rendezvous sender — if any — has been completed). The live window
+// slides down only when the dead prefix dominates, keeping compaction
+// O(1) amortised.
+func (e *Engine) compactChan(q *msgQueue) {
+	for q.head < len(q.q) && q.q[q.head].matched {
+		if m := q.q[q.head]; m.senderReq == nil {
+			*m = message{}
+			e.msgFree = append(e.msgFree, m)
+		}
+		q.q[q.head] = nil
+		q.head++
 	}
-	if i > 0 {
-		q.q = append(q.q[:0], q.q[i:]...)
+	switch {
+	case q.head == len(q.q):
+		q.q = q.q[:0]
+		q.head = 0
+	case q.head > 64 && q.head*2 >= len(q.q):
+		n := copy(q.q, q.q[q.head:])
+		for i := n; i < len(q.q); i++ {
+			q.q[i] = nil
+		}
+		q.q = q.q[:n]
+		q.head = 0
 	}
 }
