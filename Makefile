@@ -2,9 +2,11 @@ GO ?= go
 
 # Packages whose concurrency runs under the race detector: phase and
 # logical carry the extraction parallelism, obs is written to by every
-# simulated rank, faults counters are bumped from rank goroutines,
-# sigrepo serializes concurrent writers on a lock file, and trace runs
-# the parallel block codec (encode pool, decode batch engine).
+# simulated rank (and ./internal/obs/... recursively covers obshttp,
+# whose tests scrape a live server while spans and flight events are
+# recorded), faults counters are bumped from rank goroutines, sigrepo
+# serializes concurrent writers on a lock file, and trace runs the
+# parallel block codec (encode pool, decode batch engine).
 RACE_PKGS = ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/... ./internal/trace/... ./internal/sim/...
 
 .PHONY: build test race bench bench-json bench-baseline check cover fuzz
@@ -23,10 +25,12 @@ race:
 bench:
 	$(GO) test ./internal/phase -run xxx -bench ExtractApps -benchtime 5x -count 3
 
-# Machine-readable benchmark document: pipeline rows (table 8/9) plus
-# the block-codec worker sweep. BENCH_PR6.json is the committed copy.
+# Machine-readable benchmark document: pipeline rows (table 8/9), the
+# block-codec worker sweep, and the observer-overhead comparison
+# (instrumented vs nil-observer pipeline). BENCH_PR7.json is the
+# committed copy.
 bench-json:
-	$(GO) run ./cmd/pas2p-bench -table 8 -json BENCH_PR6.json
+	$(GO) run ./cmd/pas2p-bench -table 8 -json BENCH_PR7.json
 
 # Refresh the benchstat baseline CI compares against. Run on a quiet
 # machine; commit bench/baseline.txt with the change that moves it.

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +20,8 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"pas2p/internal/obs"
+	"pas2p/internal/obs/obshttp"
 	"pas2p/internal/report"
 	"pas2p/internal/vtime"
 )
@@ -32,6 +35,7 @@ func main() {
 	codecEvents := flag.Int("codec-events", 1_000_000, "event count for the codec sweep recorded in -json output")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
+	serve := flag.String("serve", "", "serve live telemetry while the tables regenerate, e.g. 127.0.0.1:9090 (port 0 picks one)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -51,6 +55,25 @@ func main() {
 		ProcScale:      *scale,
 		EventOverhead:  vtime.FromSeconds(overhead.Seconds()),
 		ParallelPhases: *par,
+	}
+	if *serve != "" {
+		o := obs.New()
+		o.Flight = obs.NewFlightRecorder(0)
+		s, err := obshttp.Serve(*serve, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pas2p-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry: serving on %s\n", s.URL())
+		opts.Observer = o
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			if snap, err := s.Shutdown(ctx); err == nil {
+				fmt.Printf("telemetry: stopped after %d scrapes (%d spans)\n",
+					snap.Counters["serve.scrapes"], snap.SpansTotal)
+			}
+		}()
 	}
 	w := os.Stdout
 	start := time.Now()
@@ -102,7 +125,13 @@ func main() {
 				if err != nil {
 					return err
 				}
-				if err := writeBenchJSON(*jsonOut, rows, codec); err != nil {
+				fmt.Fprintln(w, "running observer-overhead benchmark (instrumented vs nil observer)...")
+				obsRes, err := runObsBench("cg", 8, 3)
+				if err != nil {
+					return err
+				}
+				printObsBench(obsRes)
+				if err := writeBenchJSON(*jsonOut, rows, codec, obsRes); err != nil {
 					return err
 				}
 				fmt.Fprintf(w, "benchmark rows written to %s\n", *jsonOut)
@@ -157,9 +186,10 @@ type benchDoc struct {
 	} `json:"host"`
 	Pipeline []benchRow    `json:"pipeline"`
 	Codec    []codecResult `json:"codec"`
+	Obs      obsResult     `json:"obs_overhead"`
 }
 
-func writeBenchJSON(path string, rows []report.PerfRow, codec []codecResult) error {
+func writeBenchJSON(path string, rows []report.PerfRow, codec []codecResult, obsRes obsResult) error {
 	var doc benchDoc
 	doc.Host.GoVersion = runtime.Version()
 	doc.Host.GOOS = runtime.GOOS
@@ -167,6 +197,7 @@ func writeBenchJSON(path string, rows []report.PerfRow, codec []codecResult) err
 	doc.Host.CPUs = runtime.NumCPU()
 	doc.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	doc.Codec = codec
+	doc.Obs = obsRes
 	doc.Pipeline = make([]benchRow, 0, len(rows))
 	for _, r := range rows {
 		doc.Pipeline = append(doc.Pipeline, benchRow{

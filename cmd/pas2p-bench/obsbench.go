@@ -1,0 +1,92 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"pas2p/internal/apps"
+	"pas2p/internal/machine"
+	"pas2p/internal/obs"
+	"pas2p/internal/predict"
+	"pas2p/internal/vtime"
+)
+
+// obsResult quantifies what instrumentation costs: the same pipeline
+// run with a nil observer (every hook on its zero-alloc fast path)
+// and with a fully enabled one (metrics registry, span aggregation,
+// flight recorder). OverheadPercent is the claim the observability
+// layer has to defend — pull-based telemetry must stay cheap.
+type obsResult struct {
+	App             string  `json:"app"`
+	Ranks           int     `json:"ranks"`
+	Iters           int     `json:"iters"`
+	NilNsPerOp      int64   `json:"nil_observer_ns_per_op"`
+	ObsNsPerOp      int64   `json:"instrumented_ns_per_op"`
+	OverheadPercent float64 `json:"overhead_percent"`
+	SpansRecorded   int64   `json:"spans_recorded"`
+	FlightEvents    int     `json:"flight_events"`
+}
+
+// runObsBench measures the pipeline's observer overhead: iters runs
+// with a nil observer against iters runs with metrics + flight
+// recording enabled, same app and machines.
+func runObsBench(appName string, ranks, iters int) (obsResult, error) {
+	res := obsResult{App: appName, Ranks: ranks, Iters: iters}
+	base, err := machine.NewDeployment(machine.ByName("A"), ranks, machine.MapBlock)
+	if err != nil {
+		return res, err
+	}
+	target, err := machine.NewDeployment(machine.ByName("B"), ranks, machine.MapBlock)
+	if err != nil {
+		return res, err
+	}
+	run := func(o *obs.Observer) (time.Duration, error) {
+		a, err := apps.Make(appName, ranks, "")
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		_, err = predict.Run(predict.Experiment{
+			App: a, Base: base, Target: target,
+			EventOverhead: 8 * vtime.Microsecond,
+			SkipTargetAET: true,
+			Observer:      o,
+		})
+		return time.Since(t0), err
+	}
+	// Warm-up run outside both measurements, so neither side pays
+	// first-iteration effects the other doesn't.
+	if _, err := run(nil); err != nil {
+		return res, err
+	}
+	var nilTotal, obsTotal time.Duration
+	o := obs.New()
+	o.Flight = obs.NewFlightRecorder(0)
+	for i := 0; i < iters; i++ {
+		d, err := run(nil)
+		if err != nil {
+			return res, err
+		}
+		nilTotal += d
+		if d, err = run(o); err != nil {
+			return res, err
+		}
+		obsTotal += d
+	}
+	snap := o.Registry.Snapshot()
+	res.NilNsPerOp = nilTotal.Nanoseconds() / int64(iters)
+	res.ObsNsPerOp = obsTotal.Nanoseconds() / int64(iters)
+	if res.NilNsPerOp > 0 {
+		res.OverheadPercent = 100 * float64(res.ObsNsPerOp-res.NilNsPerOp) / float64(res.NilNsPerOp)
+	}
+	res.SpansRecorded = snap.SpansTotal
+	res.FlightEvents = o.Flight.Len()
+	return res, nil
+}
+
+func printObsBench(r obsResult) {
+	fmt.Printf("observer overhead (%s, %d ranks, %d iters): nil %.3fms vs instrumented %.3fms -> %+.1f%% (%d spans, %d flight events)\n",
+		r.App, r.Ranks, r.Iters,
+		float64(r.NilNsPerOp)/1e6, float64(r.ObsNsPerOp)/1e6,
+		r.OverheadPercent, r.SpansRecorded, r.FlightEvents)
+}

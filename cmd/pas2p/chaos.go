@@ -39,6 +39,7 @@ func cmdChaos(args []string) error {
 	noTruth := fs.Bool("no-ground-truth", false, "skip the fault-free full target run")
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot (incl. faults.* counters) as JSON")
 	timelineOut := fs.String("timeline", "", "write a Chrome trace-event timeline with fault instants on the rank tracks")
+	serve := fs.String("serve", "", "serve live telemetry during the run, e.g. 127.0.0.1:9090 (port 0 picks one); /flight lists each injected fault")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -88,9 +89,14 @@ func cmdChaos(args []string) error {
 	switch {
 	case *timelineOut != "":
 		o = obs.NewWithTimeline()
-	case *metricsOut != "":
+	case *metricsOut != "" || *serve != "":
 		o = obs.New()
 	}
+	stopServe, err := startServe(*serve, o)
+	if err != nil {
+		return err
+	}
+	defer stopServe()
 	out, rep, err := run(o)
 	if err != nil {
 		return err

@@ -154,6 +154,7 @@ func cmdAnalyze(args []string) error {
 	promOut := fs.String("prom", "", "also write the metrics in Prometheus text format")
 	faultSpec := fs.String("faults", "", "perturb the trace's clocks before analysis, e.g. skew=5ms,drift=0.001")
 	seed := fs.Int64("seed", 1, "fault-injection seed (with -faults)")
+	serve := fs.String("serve", "", "serve live telemetry on this address while analyzing, e.g. 127.0.0.1:9090 (port 0 picks one)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -168,9 +169,15 @@ func cmdAnalyze(args []string) error {
 	switch {
 	case *timelineOut != "":
 		o = obs.NewWithTimeline()
-	case *metricsOut != "" || *promOut != "":
+	case *metricsOut != "" || *promOut != "" || *serve != "":
 		o = obs.New()
 	}
+	inj.SetObserver(o)
+	stopServe, err := startServe(*serve, o)
+	if err != nil {
+		return err
+	}
+	defer stopServe()
 	f, err := os.Open(*in)
 	if err != nil {
 		return err
@@ -316,6 +323,7 @@ func cmdPredict(args []string) error {
 	metricsOut := fs.String("metrics", "", "write a metrics snapshot (stage spans, counters) as JSON")
 	faultSpec := fs.String("faults", "", "inject faults into the pipeline, e.g. loss=0.02,crash=0.1 (see 'pas2p chaos')")
 	seed := fs.Int64("seed", 1, "fault-injection seed (with -faults)")
+	serve := fs.String("serve", "", "serve live telemetry on this address during the run, e.g. 127.0.0.1:9090 (port 0 picks one)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
@@ -352,9 +360,14 @@ func cmdPredict(args []string) error {
 		sig.AllPhases = true
 		exp.Signature = sig
 	}
-	if *metricsOut != "" {
+	if *metricsOut != "" || *serve != "" {
 		exp.Observer = obs.New()
 	}
+	stopServe, err := startServe(*serve, exp.Observer)
+	if err != nil {
+		return err
+	}
+	defer stopServe()
 	out, err := predict.Run(exp)
 	if err != nil {
 		return err

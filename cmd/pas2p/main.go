@@ -27,6 +27,14 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// A panic mid-run must not take the flight recorder's event tail
+	// with it: dump the retained events before re-panicking.
+	defer func() {
+		if r := recover(); r != nil {
+			dumpFlight()
+			panic(r)
+		}
+	}()
 	var err error
 	switch os.Args[1] {
 	case "apps":
@@ -66,6 +74,7 @@ func main() {
 		os.Exit(0)
 	}
 	if err != nil {
+		dumpFlight()
 		fmt.Fprintf(os.Stderr, "pas2p: %v\n", err)
 		os.Exit(1)
 	}
@@ -81,8 +90,11 @@ commands:
                                 instrument a run and write the tracefile
   analyze  -trace FILE [-o TABLE.json] [-metrics FILE]
            [-timeline FILE] [-prom FILE] [-faults skew=...,drift=...]
+           [-serve ADDR]
                                 build the model, extract phases, print the
-                                phase table (paper Fig. 7)
+                                phase table (paper Fig. 7); -serve exposes
+                                live /metrics, /spans, /flight, /timeline
+                                and /debug/pprof over HTTP during the run
   inspect  -trace FILE [-proc P] [-n N] [-ticks]
                                 examine a tracefile: stats, event dumps,
                                 logical tick table
@@ -92,6 +104,7 @@ commands:
                                 run the full application for its AET
   predict  -app A -procs N [-workload W] -base B -target T [-cores K]
            [-timeline] [-all-phases] [-metrics FILE] [-faults SPEC -seed S]
+           [-serve ADDR]
                                 construct the signature on the base cluster,
                                 execute it on the target, predict the AET and
                                 (with a ground-truth run) report the error
@@ -101,7 +114,7 @@ commands:
                                 and emit a metrics snapshot plus a Chrome
                                 trace-event timeline (Perfetto-loadable)
   chaos    APP [-ranks N] [-seed S] [-faults SPEC] [-verify=false]
-           [-metrics FILE] [-timeline FILE]
+           [-metrics FILE] [-timeline FILE] [-serve ADDR]
                                 run the pipeline under deterministic fault
                                 injection (message loss/dup/delay, crashes
                                 with checkpoint restart, clock jitter) and

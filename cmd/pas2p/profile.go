@@ -98,23 +98,36 @@ func cmdProfile(args []string) error {
 	return nil
 }
 
-// printSpanReport lists the recorded stage spans and their share of the
-// measured wall time. The pipeline spans are disjoint, so the shares
-// sum to the fraction of the run the instrumentation accounts for.
+// printSpanReport lists the per-stage span aggregates — count, total
+// wall time, share of the measured wall, and the p50/p95/p99 wall
+// quantiles from the stage's histogram — plus each stage's allocation
+// count. The pipeline spans are disjoint, so the shares sum to the
+// fraction of the run the instrumentation accounts for.
 func printSpanReport(snap *obs.Snapshot, wall time.Duration) {
-	if len(snap.Spans) == 0 || wall <= 0 {
+	if len(snap.SpanStats) == 0 || wall <= 0 {
 		return
 	}
+	names := make([]string, 0, len(snap.SpanStats))
+	for n := range snap.SpanStats {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	ms := func(ns int64) float64 { return float64(ns) / 1e6 }
 	var total int64
 	fmt.Println("stage spans:")
-	for _, sp := range snap.Spans {
-		total += sp.WallNS
-		fmt.Printf("  %-20s %10.3fms  %6.1f%%  (%d allocs)\n",
-			sp.Name, float64(sp.WallNS)/1e6,
-			100*float64(sp.WallNS)/float64(wall.Nanoseconds()), sp.Allocs)
+	fmt.Printf("  %-20s %5s %12s %7s %10s %10s %10s %9s\n",
+		"STAGE", "COUNT", "TOTAL", "SHARE", "P50", "P95", "P99", "ALLOCS")
+	for _, n := range names {
+		st := snap.SpanStats[n]
+		total += st.WallSumNS
+		fmt.Printf("  %-20s %5d %10.3fms %6.1f%% %8.3fms %8.3fms %8.3fms %9d\n",
+			n, st.Count, ms(st.WallSumNS),
+			100*float64(st.WallSumNS)/float64(wall.Nanoseconds()),
+			ms(st.WallP50NS), ms(st.WallP95NS), ms(st.WallP99NS), st.Allocs)
 	}
-	fmt.Printf("span coverage: %.1f%% of %.3fms wall\n",
-		100*float64(total)/float64(wall.Nanoseconds()), float64(wall.Nanoseconds())/1e6)
+	fmt.Printf("span coverage: %.1f%% of %.3fms wall (%d spans recorded, %d retained)\n",
+		100*float64(total)/float64(wall.Nanoseconds()), float64(wall.Nanoseconds())/1e6,
+		snap.SpansTotal, int64(len(snap.Spans)))
 }
 
 // writeSnapshot writes the metrics snapshot as JSON and, optionally, in

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"pas2p/internal/obs"
+	"pas2p/internal/obs/obshttp"
+)
+
+// Test hooks around the telemetry server lifecycle. serveStartHook
+// fires synchronously once the server is listening (the run has not
+// started yet); serveDoneHook fires after the run completes and the
+// server is marked done, but before Shutdown — acceptance tests
+// scrape /flight, /healthz and /metrics from it deterministically.
+var (
+	serveStartHook func(s *obshttp.Server)
+	serveDoneHook  func(s *obshttp.Server)
+)
+
+// activeFlight is the flight recorder of the current -serve (or
+// otherwise flight-equipped) run; main dumps it to stderr when the
+// command fails or panics, so the events leading up to the failure
+// survive even when nobody scraped /flight in time.
+var activeFlight *obs.FlightRecorder
+
+// startServe launches the live telemetry server when addr is
+// non-empty and returns a finish function for the command to defer:
+// it marks the run done, lets a final scrape happen (test hook), and
+// shuts the server down, printing a one-line summary of the flushed
+// final snapshot. The observer gains a flight recorder if it has
+// none, so /flight is always live on a served run.
+func startServe(addr string, o *obs.Observer) (finish func(), err error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	if o.FR() == nil {
+		o.Flight = obs.NewFlightRecorder(0)
+	}
+	activeFlight = o.Flight
+	s, err := obshttp.Serve(addr, o)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("telemetry  : serving on %s (metrics, spans, flight, timeline, pprof)\n", s.URL())
+	if serveStartHook != nil {
+		serveStartHook(s)
+	}
+	return func() {
+		s.SetDone()
+		if serveDoneHook != nil {
+			serveDoneHook(s)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		snap, err := s.Shutdown(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pas2p: telemetry shutdown: %v\n", err)
+		}
+		if snap != nil {
+			fmt.Printf("telemetry  : stopped after %d scrapes (%d spans, %d flight events)\n",
+				snap.Counters["serve.scrapes"], snap.SpansTotal, o.FR().Len())
+		}
+	}, nil
+}
+
+// dumpFlight writes the active flight recorder to stderr; called by
+// main on command failure and on panic so the structured event tail
+// is not lost with the process.
+func dumpFlight() {
+	if activeFlight == nil || activeFlight.Len() == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "pas2p: flight recorder (%d events):\n", activeFlight.Len())
+	activeFlight.WriteJSON(os.Stderr) //nolint:errcheck // best-effort crash dump
+	fmt.Fprintln(os.Stderr)
+}

@@ -154,6 +154,12 @@ type Injector struct {
 	cfg  Config
 	seed uint64
 
+	// obs receives a flight-recorder event per injected fault. Held
+	// atomically so SetObserver is safe against in-flight decisions.
+	// Events never influence fault decisions (those are pure hashes),
+	// so an attached observer cannot perturb a fault schedule.
+	obs atomic.Pointer[obs.Observer]
+
 	msgLost       atomic.Int64
 	msgRetransmit atomic.Int64
 	msgDup        atomic.Int64
@@ -194,6 +200,24 @@ func (i *Injector) Seed() int64 {
 		return 0
 	}
 	return i.cfg.Seed
+}
+
+// SetObserver attaches an observer whose flight recorder receives one
+// structured event per injected fault. Nil receiver and nil observer
+// are fine; decisions are unaffected either way.
+func (i *Injector) SetObserver(o *obs.Observer) {
+	if i == nil {
+		return
+	}
+	i.obs.Store(o)
+}
+
+// event forwards to the attached observer's flight recorder; free when
+// none is attached.
+func (i *Injector) event(kind, msg string, rank int, v int64) {
+	if o := i.obs.Load(); o != nil {
+		o.Event(kind, msg, rank, v)
+	}
 }
 
 // Decision streams: each fault class hashes under its own constant so
@@ -263,18 +287,28 @@ func (i *Injector) Message(src, dst int, uid int64, size int) (MsgFault, bool) {
 			i.msgLost.Add(1)
 			i.msgRetransmit.Add(int64(f.Retransmits))
 			i.noteRecovered()
+			i.event("fault.msg_lost",
+				fmt.Sprintf("message %d→%d lost, recovered after %d retransmit(s)", src, dst, f.Retransmits),
+				src, int64(f.Retransmits))
 		}
 	}
 	if c.DupRate > 0 && i.roll(streamDup, ka, kb, kc) < c.DupRate {
 		f.Duplicated = true
 		i.msgDup.Add(1)
 		i.noteRecovered()
+		i.event("fault.msg_dup",
+			fmt.Sprintf("message %d→%d duplicated, copy discarded at receiver", src, dst),
+			src, 1)
 	}
 	if c.DelayRate > 0 && i.roll(streamDelay, ka, kb, kc) < c.DelayRate {
 		amt := i.roll(streamDelayAmt, ka, kb, kc)
-		f.Delay += vtime.Duration(math.Ceil(amt * float64(c.MaxDelay)))
+		d := vtime.Duration(math.Ceil(amt * float64(c.MaxDelay)))
+		f.Delay += d
 		i.msgDelayed.Add(1)
 		i.noteRecovered()
+		i.event("fault.msg_delay",
+			fmt.Sprintf("message %d→%d delayed %v in flight", src, dst, d),
+			src, int64(d))
 	}
 	if f.Retransmits == 0 && !f.Duplicated && f.Delay == 0 {
 		return MsgFault{}, false
@@ -318,8 +352,14 @@ func (i *Injector) Restart(phaseID, rank int) CrashFault {
 		i.injected.Add(1)
 		if f.Recovered {
 			i.recovered.Add(1)
+			i.event("fault.crash",
+				fmt.Sprintf("phase %d restart crashed %d time(s), recovered", phaseID, f.Failures),
+				rank, int64(f.Failures))
 		} else {
 			i.unrecovered.Add(1)
+			i.event("fault.crash_unrecovered",
+				fmt.Sprintf("phase %d restart exhausted %d attempt(s), unrecovered", phaseID, f.Failures),
+				rank, int64(f.Failures))
 		}
 	}
 	return f
@@ -331,6 +371,9 @@ func (i *Injector) NotePhaseLost(phaseID int) {
 		return
 	}
 	i.phasesLost.Add(1)
+	i.event("fault.phase_lost",
+		fmt.Sprintf("phase %d abandoned after unrecovered crash; signature degrades to surviving phases", phaseID),
+		-1, int64(phaseID))
 }
 
 // Jitter returns the multiplicative clock perturbation for the seq-th
@@ -391,6 +434,9 @@ func (i *Injector) SkewTrace(tr *trace.Trace) (*trace.Trace, error) {
 	if vtime.Duration(maxExit) > aet {
 		aet = vtime.Duration(maxExit)
 	}
+	i.event("fault.skew_trace",
+		fmt.Sprintf("perturbed %d process clocks (skew %v, drift %v)", tr.Procs, i.cfg.ClockSkew, i.cfg.ClockDrift),
+		-1, int64(tr.Procs))
 	return trace.NewTrace(tr.AppName, tr.Procs, streams, aet)
 }
 

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFlightRecorderWraparound fills a small ring past its capacity
+// and pins the retained window: the newest events, oldest first, with
+// contiguous sequence numbers and an exact dropped count.
+func TestFlightRecorderWraparound(t *testing.T) {
+	f := NewFlightRecorder(4)
+	for i := 0; i < 11; i++ {
+		f.Record("k", fmt.Sprintf("event %d", i), i, int64(i*10))
+	}
+	s := f.Snapshot()
+	if s.Total != 11 || s.Dropped != 7 {
+		t.Fatalf("total/dropped = %d/%d, want 11/7", s.Total, s.Dropped)
+	}
+	if len(s.Events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(s.Events))
+	}
+	for i, ev := range s.Events {
+		wantSeq := uint64(7 + i)
+		wantMsg := fmt.Sprintf("event %d", 7+i)
+		if ev.Seq != wantSeq || ev.Msg != wantMsg || ev.Rank != 7+i || ev.V != int64((7+i)*10) {
+			t.Errorf("event[%d] = %+v, want seq %d msg %q", i, ev, wantSeq, wantMsg)
+		}
+	}
+}
+
+// TestFlightRecorderPartialRing checks the pre-wrap state: everything
+// retained, nothing dropped, recording order preserved.
+func TestFlightRecorderPartialRing(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.Record("a", "first", -1, 0)
+	f.Record("b", "second", 2, 5)
+	s := f.Snapshot()
+	if s.Total != 2 || s.Dropped != 0 || len(s.Events) != 2 {
+		t.Fatalf("snapshot = %+v, want 2 events, 0 dropped", s)
+	}
+	if s.Events[0].Kind != "a" || s.Events[1].Kind != "b" {
+		t.Fatalf("order = %q, %q, want a then b", s.Events[0].Kind, s.Events[1].Kind)
+	}
+	if s.Events[0].Seq != 0 || s.Events[1].Seq != 1 {
+		t.Fatalf("seqs = %d, %d, want 0, 1", s.Events[0].Seq, s.Events[1].Seq)
+	}
+}
+
+// TestFlightRecorderConcurrent hammers one recorder from many writers
+// while a reader snapshots; run under -race by the CI matrix. Sequence
+// numbers in any snapshot must be strictly increasing and the final
+// total exact.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(128)
+	const writers, per = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(writers + 1)
+	for w := 0; w < writers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Record("fault.msg_lost", "lost", w, int64(i))
+			}
+		}(w)
+	}
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s := f.Snapshot()
+			for j := 1; j < len(s.Events); j++ {
+				if s.Events[j].Seq <= s.Events[j-1].Seq {
+					t.Errorf("snapshot seqs not increasing: %d then %d",
+						s.Events[j-1].Seq, s.Events[j].Seq)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if s := f.Snapshot(); s.Total != writers*per {
+		t.Errorf("total = %d, want %d", s.Total, writers*per)
+	}
+}
+
+// TestNilFlightZeroAlloc mirrors TestNilObserverZeroAlloc for the
+// event path: with no observer (or no recorder) configured, Event and
+// Record must be free.
+func TestNilFlightZeroAlloc(t *testing.T) {
+	var o *Observer
+	var f *FlightRecorder
+	justReg := New() // registry but no flight recorder
+	allocs := testing.AllocsPerRun(200, func() {
+		o.Event("fault.msg_lost", "message lost", 3, 42)
+		f.Record("fault.crash", "restart crashed", 1, 2)
+		justReg.Event("repo.quarantine", "entry quarantined", -1, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("nil-path event hooks allocated %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestFlightRecorderSteadyStateAllocs pins the bounded-memory claim on
+// the write path: once the ring has wrapped, Record allocates nothing.
+func TestFlightRecorderSteadyStateAllocs(t *testing.T) {
+	f := NewFlightRecorder(16)
+	for i := 0; i < 16; i++ {
+		f.Record("k", "warm", 0, 0)
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		f.Record("fault.msg_lost", "lost", 1, 7)
+	})
+	if allocs != 0 {
+		t.Errorf("post-wrap Record allocated %.1f objects per call, want 0", allocs)
+	}
+}
+
+func TestFlightWriteJSON(t *testing.T) {
+	f := NewFlightRecorder(4)
+	f.Record("sim.deadlock", "2 of 4 ranks blocked", -1, 2)
+	var buf bytes.Buffer
+	if err := f.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s FlightSnapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(s.Events) != 1 || s.Events[0].Kind != "sim.deadlock" || s.Events[0].V != 2 {
+		t.Errorf("round-tripped snapshot = %+v", s)
+	}
+	// A nil recorder still writes a valid, empty snapshot.
+	var nilF *FlightRecorder
+	buf.Reset()
+	if err := nilF.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil || len(s.Events) != 0 {
+		t.Errorf("nil dump = %s (err %v)", buf.String(), err)
+	}
+}
+
+// TestObserverEventThroughMetricsOnly checks the flight recorder is
+// shared across MetricsOnly derivations, like the registry is.
+func TestObserverEventThroughMetricsOnly(t *testing.T) {
+	o := NewWithTimeline()
+	o.Flight = NewFlightRecorder(8)
+	mo := o.MetricsOnly()
+	if mo == o {
+		t.Fatal("timeline observer must derive a new metrics-only observer")
+	}
+	mo.Event("fault.msg_dup", "duplicate discarded", 2, 1)
+	if got := o.Flight.Len(); got != 1 {
+		t.Errorf("flight has %d events, want 1 recorded through MetricsOnly", got)
+	}
+}

@@ -14,6 +14,10 @@ import (
 type Observer struct {
 	Registry *Registry
 	Timeline *Timeline
+	// Flight, when non-nil, receives structured events (fault
+	// injections, repository quarantines, deadlock reports, ...) into
+	// a bounded ring for live /flight scrapes and crash dumps.
+	Flight *FlightRecorder
 }
 
 // New returns an Observer with a fresh registry and no timeline.
@@ -41,10 +45,31 @@ func (o *Observer) TL() *Timeline {
 	return o.Timeline
 }
 
-// MetricsOnly returns an Observer sharing this one's registry but with
-// no timeline — used for auxiliary runs whose counters matter but
-// whose per-event tracks would only bloat the trace file. Returns nil
-// when o is nil or has no registry.
+// FR returns the flight recorder, nil when not observing or when no
+// recorder is configured.
+func (o *Observer) FR() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
+}
+
+// Event records one structured event in the flight recorder. The
+// nil path — nil Observer or no recorder — is allocation-free, so
+// instrumented code (fault decisions on simulator rank goroutines
+// included) calls it unconditionally. Rank is -1 for events that are
+// not rank-scoped; v is a kind-specific scalar.
+func (o *Observer) Event(kind, msg string, rank int, v int64) {
+	if o == nil || o.Flight == nil {
+		return
+	}
+	o.Flight.Record(kind, msg, rank, v)
+}
+
+// MetricsOnly returns an Observer sharing this one's registry and
+// flight recorder but with no timeline — used for auxiliary runs whose
+// counters matter but whose per-event tracks would only bloat the
+// trace file. Returns nil when o is nil or has no registry.
 func (o *Observer) MetricsOnly() *Observer {
 	if o == nil || o.Registry == nil {
 		return nil
@@ -52,7 +77,7 @@ func (o *Observer) MetricsOnly() *Observer {
 	if o.Timeline == nil {
 		return o
 	}
-	return &Observer{Registry: o.Registry}
+	return &Observer{Registry: o.Registry, Flight: o.Flight}
 }
 
 // SpanCounter is one stage-specific counter attached to a span.

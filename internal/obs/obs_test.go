@@ -107,6 +107,15 @@ func fixedSnapshot() *Snapshot {
 		WallNS: 2_500_000, Allocs: 10, AllocBytes: 4096,
 		Counters: []SpanCounter{{Name: "phases_found", Value: 7}},
 	}}
+	s.SpanStats = map[string]SpanStatsSnapshot{
+		"phase.extract": {
+			Count: 1, WallSumNS: 2_500_000,
+			WallMinNS: 2_500_000, WallMaxNS: 2_500_000,
+			WallP50NS: 2_500_000, WallP95NS: 2_500_000, WallP99NS: 2_500_000,
+			Allocs: 10, AllocBytes: 4096, AllocP99: 4096,
+		},
+	}
+	s.SpansTotal = 1
 	return s
 }
 
@@ -153,7 +162,22 @@ func TestSnapshotJSONGolden(t *testing.T) {
         }
       ]
     }
-  ]
+  ],
+  "span_stats": {
+    "phase.extract": {
+      "count": 1,
+      "wall_sum_ns": 2500000,
+      "wall_min_ns": 2500000,
+      "wall_max_ns": 2500000,
+      "wall_p50_ns": 2500000,
+      "wall_p95_ns": 2500000,
+      "wall_p99_ns": 2500000,
+      "allocs": 10,
+      "alloc_bytes": 4096,
+      "alloc_bytes_p99": 4096
+    }
+  },
+  "spans_total": 1
 }
 `
 	if got := buf.String(); got != want {
@@ -167,22 +191,32 @@ func TestSnapshotPrometheusGolden(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := strings.Join([]string{
+		"# HELP pas2p_sim_bytes discrete-event simulator traffic — pas2p metric sim.bytes",
 		"# TYPE pas2p_sim_bytes counter",
 		"pas2p_sim_bytes 1048576",
+		"# HELP pas2p_sim_messages discrete-event simulator traffic — pas2p metric sim.messages",
 		"# TYPE pas2p_sim_messages counter",
 		"pas2p_sim_messages 42",
+		"# HELP pas2p_profile_wall_seconds pas2p metric profile.wall_seconds",
 		"# TYPE pas2p_profile_wall_seconds gauge",
 		"pas2p_profile_wall_seconds 1.5",
+		"# HELP pas2p_sim_msg_bytes discrete-event simulator traffic — pas2p metric sim.msg_bytes",
 		"# TYPE pas2p_sim_msg_bytes histogram",
 		`pas2p_sim_msg_bytes_bucket{le="1024"} 1`,
 		`pas2p_sim_msg_bytes_bucket{le="65536"} 2`,
 		`pas2p_sim_msg_bytes_bucket{le="+Inf"} 3`,
 		"pas2p_sim_msg_bytes_sum 1051136",
 		"pas2p_sim_msg_bytes_count 3",
-		"# TYPE pas2p_span_wall_seconds gauge",
-		`pas2p_span_wall_seconds{span="phase.extract"} 0.0025`,
-		"# TYPE pas2p_span_allocs gauge",
-		`pas2p_span_allocs{span="phase.extract"} 10`,
+		"# HELP pas2p_span_wall_seconds wall-clock time of pipeline stage spans, aggregated per stage",
+		"# TYPE pas2p_span_wall_seconds summary",
+		`pas2p_span_wall_seconds{span="phase.extract",quantile="0.5"} 0.0025`,
+		`pas2p_span_wall_seconds{span="phase.extract",quantile="0.95"} 0.0025`,
+		`pas2p_span_wall_seconds{span="phase.extract",quantile="0.99"} 0.0025`,
+		`pas2p_span_wall_seconds_sum{span="phase.extract"} 0.0025`,
+		`pas2p_span_wall_seconds_count{span="phase.extract"} 1`,
+		"# HELP pas2p_span_allocs_total heap allocations attributed to pipeline stage spans",
+		"# TYPE pas2p_span_allocs_total counter",
+		`pas2p_span_allocs_total{span="phase.extract"} 10`,
 		"",
 	}, "\n")
 	if got := buf.String(); got != want {
@@ -225,6 +259,10 @@ func TestNilObserverZeroAlloc(t *testing.T) {
 		}
 		tl.Slice(1, 0, "compute", "compute", 0, 10)
 		tl.Instant(1, 0, "ckpt", 5)
+		o.Event("fault.msg_lost", "message lost", 3, 1)
+		if o.FR() != nil {
+			t.Fatal("nil observer returned a flight recorder")
+		}
 		if o.MetricsOnly() != nil {
 			t.Fatal("nil observer produced a metrics-only observer")
 		}
@@ -232,6 +270,200 @@ func TestNilObserverZeroAlloc(t *testing.T) {
 	if allocs != 0 {
 		t.Errorf("nil-observer hooks allocated %.1f objects per run, want 0", allocs)
 	}
+}
+
+// TestPromNameSanitisation pins the metric-name mapping: dots become
+// underscores, unicode and punctuation are replaced, and digits pass
+// through at every position (the pas2p_ prefix makes a leading digit
+// in the exported name impossible).
+func TestPromNameSanitisation(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"sim.messages", "pas2p_sim_messages"},
+		{"repo.lock_takeovers", "pas2p_repo_lock_takeovers"},
+		{"9to5", "pas2p_9to5"},
+		{"codec.v2.blocks", "pas2p_codec_v2_blocks"},
+		{"latência.ms", "pas2p_lat_ncia_ms"},
+		{"a-b/c d", "pas2p_a_b_c_d"},
+		{"", "pas2p_"},
+		{"UPPER.Case7", "pas2p_UPPER_Case7"},
+	} {
+		if got := promName(tc.in); got != tc.want {
+			t.Errorf("promName(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestPromLabelEscaping pins the exposition-format label escaping:
+// only backslash, quote and newline are special; UTF-8 passes through
+// verbatim (Go's %q would emit invalid \u escapes).
+func TestPromLabelEscaping(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"plain", "plain"},
+		{`back\slash`, `back\\slash`},
+		{`qu"ote`, `qu\"ote`},
+		{"new\nline", `new\nline`},
+		{"unicodé ✓", "unicodé ✓"},
+		{"\\\"\n", `\\\"\n`},
+	} {
+		if got := promLabel(tc.in); got != tc.want {
+			t.Errorf("promLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestPrometheusOutputHasHelpAndValidEscapes renders a snapshot whose
+// span names carry every special character and checks the output
+// against the exposition grammar line by line.
+func TestPrometheusOutputHasHelpAndValidEscapes(t *testing.T) {
+	o := New()
+	o.Registry.Counter("sim.messages").Add(1)
+	sp := o.StartSpan("weird\"span\\name\nnewline")
+	sp.End()
+	var buf bytes.Buffer
+	if err := o.Registry.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `span="weird\"span\\name\nnewline"`) {
+		t.Errorf("span label not escaped per the exposition format:\n%s", out)
+	}
+	if strings.Contains(out, `\u`) {
+		t.Errorf("output contains %%q-style \\u escapes, invalid in the exposition format:\n%s", out)
+	}
+	seenType := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			seenType[strings.Fields(rest)[0]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		base := name
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if fam, ok := strings.CutSuffix(name, suf); ok && seenType[fam] {
+				base = fam
+			}
+		}
+		if !seenType[base] {
+			t.Errorf("sample %q has no preceding # TYPE", line)
+		}
+	}
+	// Every TYPE line must be paired with a HELP line.
+	for fam := range seenType {
+		if !strings.Contains(out, "# HELP "+fam+" ") {
+			t.Errorf("family %s has no # HELP line", fam)
+		}
+	}
+}
+
+// TestSpanRetentionBoundsMemory is the 10k-span soak: the registry
+// must retain only the configured ring, keep exact aggregates over
+// everything, and reach a zero-allocation steady state on addSpan, so
+// a long-running server cannot leak span records.
+func TestSpanRetentionBoundsMemory(t *testing.T) {
+	r := NewRegistry()
+	r.SetSpanRetention(64)
+	for i := 0; i < 10_000; i++ {
+		r.addSpan(SpanRecord{Name: "stage", WallNS: int64(i + 1), AllocBytes: 128})
+	}
+	s := r.Snapshot()
+	if len(s.Spans) != 64 {
+		t.Errorf("retained %d spans, want 64", len(s.Spans))
+	}
+	if s.SpansTotal != 10_000 || s.SpansDropped != 10_000-64 {
+		t.Errorf("total/dropped = %d/%d, want 10000/%d", s.SpansTotal, s.SpansDropped, 10_000-64)
+	}
+	// Ring holds the most recent records, oldest first.
+	if s.Spans[0].WallNS != 10_000-63 || s.Spans[63].WallNS != 10_000 {
+		t.Errorf("ring window = [%d, %d], want [9937, 10000]", s.Spans[0].WallNS, s.Spans[63].WallNS)
+	}
+	st := s.SpanStats["stage"]
+	if st.Count != 10_000 || st.WallMinNS != 1 || st.WallMaxNS != 10_000 {
+		t.Errorf("aggregate = %+v, want count 10000, min 1, max 10000", st)
+	}
+	if st.AllocBytes != 10_000*128 {
+		t.Errorf("alloc bytes = %d, want %d", st.AllocBytes, 10_000*128)
+	}
+	// Steady state: recording an existing stage into a full ring must
+	// not allocate (no unbounded growth of any kind).
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.addSpan(SpanRecord{Name: "stage", WallNS: 5, AllocBytes: 64})
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state addSpan allocated %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestSpanQuantiles checks the histogram-backed percentiles: exact for
+// a single observation (clamped to min==max), and within the 1-2-5
+// bucket resolution for a spread of observations.
+func TestSpanQuantiles(t *testing.T) {
+	r := NewRegistry()
+	r.addSpan(SpanRecord{Name: "once", WallNS: 3_141_592})
+	st := r.Snapshot().SpanStats["once"]
+	if st.WallP50NS != 3_141_592 || st.WallP99NS != 3_141_592 {
+		t.Errorf("single-span quantiles = p50 %d p99 %d, want exact 3141592", st.WallP50NS, st.WallP99NS)
+	}
+
+	// 1000 spans at 1ms, 10 at 100ms: p50 must sit near 1ms, p99 within
+	// a bucket of 1ms (990th of 1010), and max is exact.
+	for i := 0; i < 1000; i++ {
+		r.addSpan(SpanRecord{Name: "spread", WallNS: 1_000_000})
+	}
+	for i := 0; i < 10; i++ {
+		r.addSpan(SpanRecord{Name: "spread", WallNS: 100_000_000})
+	}
+	st = r.Snapshot().SpanStats["spread"]
+	if st.WallP50NS < 500_000 || st.WallP50NS > 2_000_000 {
+		t.Errorf("p50 = %d, want ~1ms", st.WallP50NS)
+	}
+	if st.WallP99NS < 500_000 || st.WallP99NS > 2_000_000 {
+		t.Errorf("p99 = %d, want within the 1ms bucket", st.WallP99NS)
+	}
+	if st.WallMaxNS != 100_000_000 {
+		t.Errorf("max = %d, want 100ms", st.WallMaxNS)
+	}
+}
+
+// TestSetSpanRetentionRebuild shrinks and regrows the ring and checks
+// the retained window stays the newest records in order.
+func TestSetSpanRetentionRebuild(t *testing.T) {
+	r := NewRegistry()
+	for i := 1; i <= 10; i++ {
+		r.addSpan(SpanRecord{Name: "s", WallNS: int64(i)})
+	}
+	r.SetSpanRetention(4)
+	s := r.Snapshot()
+	if len(s.Spans) != 4 || s.Spans[0].WallNS != 7 || s.Spans[3].WallNS != 10 {
+		t.Fatalf("after shrink: %v", wallsOf(s.Spans))
+	}
+	r.addSpan(SpanRecord{Name: "s", WallNS: 11})
+	s = r.Snapshot()
+	if len(s.Spans) != 4 || s.Spans[0].WallNS != 8 || s.Spans[3].WallNS != 11 {
+		t.Fatalf("after shrink+add: %v", wallsOf(s.Spans))
+	}
+	r.SetSpanRetention(8)
+	r.addSpan(SpanRecord{Name: "s", WallNS: 12})
+	s = r.Snapshot()
+	if len(s.Spans) != 5 || s.Spans[0].WallNS != 8 || s.Spans[4].WallNS != 12 {
+		t.Fatalf("after grow+add: %v", wallsOf(s.Spans))
+	}
+	if s.SpanStats["s"].Count != 12 {
+		t.Fatalf("aggregate count = %d, want 12 (retention must not touch aggregates)", s.SpanStats["s"].Count)
+	}
+}
+
+func wallsOf(spans []SpanRecord) []int64 {
+	ws := make([]int64, len(spans))
+	for i, sp := range spans {
+		ws[i] = sp.WallNS
+	}
+	return ws
 }
 
 func TestSpanRecordsWallAndCounters(t *testing.T) {

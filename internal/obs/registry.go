@@ -86,27 +86,65 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumB.Load()) }
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
+// DefaultSpanRetention is the recent-span ring capacity a new
+// registry starts with. Completed spans beyond it stay in the
+// per-stage aggregates but their individual records are overwritten
+// oldest-first, so a long-running server's registry memory is bounded
+// no matter how many spans it records.
+const DefaultSpanRetention = 256
+
 // Registry holds named metrics and completed spans. Metric lookup
 // takes a mutex (get-or-create on a map); the returned cells are
 // updated with atomics only, so hot paths should hold on to the cell
 // rather than re-resolve the name per operation.
+//
+// Spans are kept two ways: a bounded ring of the most recent records
+// (for timelines and "what just ran" views) and per-stage aggregates
+// (count, wall/alloc sums and histograms) that answer p50/p95/p99
+// questions at O(stages) memory however long the process lives.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	bounds   map[string][]float64
-	spans    []SpanRecord
+
+	spanAgg    map[string]*spanAgg
+	spanRing   []SpanRecord // ring; when full, oldest record sits at spanHead
+	spanHead   int          // next overwrite slot once the ring is full
+	spanTotal  int64
+	spanRetain int
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
-		hists:    make(map[string]*Histogram),
-		bounds:   make(map[string][]float64),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		bounds:     make(map[string][]float64),
+		spanAgg:    make(map[string]*spanAgg),
+		spanRetain: DefaultSpanRetention,
 	}
+}
+
+// SetSpanRetention resizes the recent-span ring (n <= 0 keeps only
+// aggregates). Existing records beyond the new capacity are dropped
+// oldest-first; aggregates are unaffected.
+func (r *Registry) SetSpanRetention(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	recent := r.recentSpansLocked()
+	if len(recent) > n {
+		recent = recent[len(recent)-n:]
+	}
+	r.spanRetain = n
+	r.spanRing = make([]SpanRecord, 0, n)
+	r.spanRing = append(r.spanRing, recent...)
+	r.spanHead = 0
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -149,10 +187,138 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	return h
 }
 
+// spanWallBounds and spanAllocBounds are the fixed histogram bucket
+// upper bounds for span aggregation: 1-2-5 geometric series covering
+// 1µs..500s of wall time and 256B..2GiB of allocation. Fixed buckets
+// keep the per-stage footprint constant; quantiles are interpolated
+// within a bucket and clamped to the observed [min, max], so a stage
+// that ran once reports its exact value.
+var (
+	spanWallBounds  = geometricBounds(1e3, 1e12)  // ns
+	spanAllocBounds = geometricBounds(256, 4e9+1) // bytes
+)
+
+// geometricBounds builds the 1-2-5 series from lo up to (excluding) hi.
+func geometricBounds(lo, hi float64) []float64 {
+	var bs []float64
+	for d := lo; d < hi; d *= 10 {
+		for _, m := range []float64{1, 2, 5} {
+			if v := d * m; v < hi {
+				bs = append(bs, v)
+			}
+		}
+	}
+	return bs
+}
+
+// spanAgg accumulates one stage's completed spans. All fields are
+// guarded by the registry mutex.
+type spanAgg struct {
+	count        int64
+	wallSum      int64
+	wallMin      int64
+	wallMax      int64
+	allocs       uint64
+	allocBytes   uint64
+	allocMax     uint64
+	wallBuckets  []int64 // len(spanWallBounds)+1, last is +Inf
+	allocBuckets []int64 // len(spanAllocBounds)+1, last is +Inf
+}
+
+func bucketFor(bounds []float64, v float64) int {
+	return sort.SearchFloat64s(bounds, v)
+}
+
+func (a *spanAgg) observe(rec *SpanRecord) {
+	if a.count == 0 || rec.WallNS < a.wallMin {
+		a.wallMin = rec.WallNS
+	}
+	if rec.WallNS > a.wallMax {
+		a.wallMax = rec.WallNS
+	}
+	a.count++
+	a.wallSum += rec.WallNS
+	a.allocs += rec.Allocs
+	a.allocBytes += rec.AllocBytes
+	if rec.AllocBytes > a.allocMax {
+		a.allocMax = rec.AllocBytes
+	}
+	a.wallBuckets[bucketFor(spanWallBounds, float64(rec.WallNS))]++
+	a.allocBuckets[bucketFor(spanAllocBounds, float64(rec.AllocBytes))]++
+}
+
+// quantile interpolates the q-quantile (0..1) from bucket counts,
+// clamped to the observed extremes.
+func (a *spanAgg) quantile(bounds []float64, buckets []int64, q float64, min, max int64) int64 {
+	if a.count == 0 {
+		return 0
+	}
+	rank := q * float64(a.count)
+	var cum float64
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bounds[i-1]
+		}
+		hi := float64(max)
+		if i < len(bounds) {
+			hi = bounds[i]
+		}
+		v := lo
+		if c > 0 {
+			v = lo + (hi-lo)*(rank-prev)/float64(c)
+		}
+		switch {
+		case v < float64(min):
+			return min
+		case v > float64(max):
+			return max
+		}
+		return int64(v)
+	}
+	return max
+}
+
 func (r *Registry) addSpan(rec SpanRecord) {
 	r.mu.Lock()
-	r.spans = append(r.spans, rec)
-	r.mu.Unlock()
+	defer r.mu.Unlock()
+	a := r.spanAgg[rec.Name]
+	if a == nil {
+		a = &spanAgg{
+			wallBuckets:  make([]int64, len(spanWallBounds)+1),
+			allocBuckets: make([]int64, len(spanAllocBounds)+1),
+		}
+		r.spanAgg[rec.Name] = a
+	}
+	a.observe(&rec)
+	r.spanTotal++
+	if r.spanRetain <= 0 {
+		return
+	}
+	if len(r.spanRing) < r.spanRetain {
+		r.spanRing = append(r.spanRing, rec)
+	} else {
+		r.spanRing[r.spanHead] = rec
+		r.spanHead = (r.spanHead + 1) % r.spanRetain
+	}
+}
+
+// recentSpansLocked returns the ring's records oldest-first.
+func (r *Registry) recentSpansLocked() []SpanRecord {
+	out := make([]SpanRecord, 0, len(r.spanRing))
+	if len(r.spanRing) < r.spanRetain || r.spanHead == 0 {
+		return append(out, r.spanRing...)
+	}
+	out = append(out, r.spanRing[r.spanHead:]...)
+	return append(out, r.spanRing[:r.spanHead]...)
 }
 
 // HistSnapshot is one histogram's frozen state.
@@ -165,13 +331,36 @@ type HistSnapshot struct {
 	Count  int64     `json:"count"`
 }
 
-// Snapshot is a consistent copy of a registry's state.
+// SpanStatsSnapshot is one stage's frozen span aggregate: how many
+// times it ran, total/min/max wall time, interpolated wall and
+// allocation percentiles, and the allocation sums. Unlike the recent
+// ring, aggregates cover every span ever recorded.
+type SpanStatsSnapshot struct {
+	Count      int64        `json:"count"`
+	WallSumNS  int64        `json:"wall_sum_ns"`
+	WallMinNS  int64        `json:"wall_min_ns"`
+	WallMaxNS  int64        `json:"wall_max_ns"`
+	WallP50NS  int64        `json:"wall_p50_ns"`
+	WallP95NS  int64        `json:"wall_p95_ns"`
+	WallP99NS  int64        `json:"wall_p99_ns"`
+	Allocs     uint64       `json:"allocs"`
+	AllocBytes uint64       `json:"alloc_bytes"`
+	AllocP99   uint64       `json:"alloc_bytes_p99"`
+	WallHist   HistSnapshot `json:"-"`
+}
+
+// Snapshot is a consistent copy of a registry's state. Spans holds the
+// recent-span ring (oldest first, capacity Registry.SetSpanRetention);
+// SpanStats holds the complete per-stage aggregates.
 type Snapshot struct {
-	TakenAt    time.Time               `json:"taken_at"`
-	Counters   map[string]int64        `json:"counters"`
-	Gauges     map[string]float64      `json:"gauges"`
-	Histograms map[string]HistSnapshot `json:"histograms"`
-	Spans      []SpanRecord            `json:"spans"`
+	TakenAt      time.Time                    `json:"taken_at"`
+	Counters     map[string]int64             `json:"counters"`
+	Gauges       map[string]float64           `json:"gauges"`
+	Histograms   map[string]HistSnapshot      `json:"histograms"`
+	Spans        []SpanRecord                 `json:"spans"`
+	SpanStats    map[string]SpanStatsSnapshot `json:"span_stats,omitempty"`
+	SpansTotal   int64                        `json:"spans_total,omitempty"`
+	SpansDropped int64                        `json:"spans_dropped,omitempty"`
 }
 
 // Snapshot freezes the registry's current state.
@@ -183,7 +372,33 @@ func (r *Registry) Snapshot() *Snapshot {
 		Counters:   make(map[string]int64, len(r.counters)),
 		Gauges:     make(map[string]float64, len(r.gauges)),
 		Histograms: make(map[string]HistSnapshot, len(r.hists)),
-		Spans:      append([]SpanRecord(nil), r.spans...),
+		Spans:      r.recentSpansLocked(),
+		SpansTotal: r.spanTotal,
+	}
+	s.SpansDropped = r.spanTotal - int64(len(s.Spans))
+	if len(r.spanAgg) > 0 {
+		s.SpanStats = make(map[string]SpanStatsSnapshot, len(r.spanAgg))
+		for n, a := range r.spanAgg {
+			st := SpanStatsSnapshot{
+				Count:      a.count,
+				WallSumNS:  a.wallSum,
+				WallMinNS:  a.wallMin,
+				WallMaxNS:  a.wallMax,
+				WallP50NS:  a.quantile(spanWallBounds, a.wallBuckets, 0.50, a.wallMin, a.wallMax),
+				WallP95NS:  a.quantile(spanWallBounds, a.wallBuckets, 0.95, a.wallMin, a.wallMax),
+				WallP99NS:  a.quantile(spanWallBounds, a.wallBuckets, 0.99, a.wallMin, a.wallMax),
+				Allocs:     a.allocs,
+				AllocBytes: a.allocBytes,
+			}
+			st.AllocP99 = uint64(a.quantile(spanAllocBounds, a.allocBuckets, 0.99, 0, int64(a.allocMax)))
+			st.WallHist = HistSnapshot{
+				Bounds: spanWallBounds,
+				Counts: append([]int64(nil), a.wallBuckets...),
+				Sum:    float64(a.wallSum),
+				Count:  a.count,
+			}
+			s.SpanStats[n] = st
+		}
 	}
 	for n, c := range r.counters {
 		s.Counters[n] = c.Value()
@@ -218,8 +433,12 @@ func (s *Snapshot) WriteJSON(w io.Writer) error {
 
 // WritePrometheus renders the snapshot in the Prometheus text
 // exposition format. Metric names are sanitised to the Prometheus
-// charset; spans are exported as pas2p_span_wall_seconds /
-// pas2p_span_allocs gauges labelled by span name.
+// charset and every family carries # HELP and # TYPE lines; label
+// values are escaped per the exposition spec (backslash, double quote
+// and newline only — %q-style \u escapes are invalid there). Span
+// aggregates are exported as a summary family labelled by span name
+// (quantile series plus _sum and _count) and a per-span allocation
+// counter.
 func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	var err error
 	p := func(format string, args ...any) {
@@ -227,38 +446,107 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 			_, err = fmt.Fprintf(w, format, args...)
 		}
 	}
+	family := func(pn, kind, help string) {
+		p("# HELP %s %s\n# TYPE %s %s\n", pn, promHelp(help), pn, kind)
+	}
 	for _, n := range sortedKeys(s.Counters) {
 		pn := promName(n)
-		p("# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[n])
+		family(pn, "counter", helpFor(n))
+		p("%s %d\n", pn, s.Counters[n])
 	}
 	for _, n := range sortedKeys(s.Gauges) {
 		pn := promName(n)
-		p("# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[n]))
+		family(pn, "gauge", helpFor(n))
+		p("%s %s\n", pn, promFloat(s.Gauges[n]))
 	}
 	for _, n := range sortedKeys(s.Histograms) {
 		h := s.Histograms[n]
 		pn := promName(n)
-		p("# TYPE %s histogram\n", pn)
+		family(pn, "histogram", helpFor(n))
 		cum := int64(0)
 		for i, b := range h.Bounds {
 			cum += h.Counts[i]
-			p("%s_bucket{le=%q} %d\n", pn, promFloat(b), cum)
+			p("%s_bucket{le=\"%s\"} %d\n", pn, promLabel(promFloat(b)), cum)
 		}
 		cum += h.Counts[len(h.Counts)-1]
 		p("%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
 		p("%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count)
 	}
-	if len(s.Spans) > 0 {
-		p("# TYPE pas2p_span_wall_seconds gauge\n")
-		for _, sp := range s.Spans {
-			p("pas2p_span_wall_seconds{span=%q} %s\n", sp.Name, promFloat(float64(sp.WallNS)/1e9))
+	if len(s.SpanStats) > 0 {
+		family("pas2p_span_wall_seconds", "summary",
+			"wall-clock time of pipeline stage spans, aggregated per stage")
+		for _, n := range sortedKeys(s.SpanStats) {
+			st := s.SpanStats[n]
+			lv := promLabel(n)
+			for _, q := range []struct {
+				q  string
+				ns int64
+			}{{"0.5", st.WallP50NS}, {"0.95", st.WallP95NS}, {"0.99", st.WallP99NS}} {
+				p("pas2p_span_wall_seconds{span=\"%s\",quantile=\"%s\"} %s\n",
+					lv, q.q, promFloat(float64(q.ns)/1e9))
+			}
+			p("pas2p_span_wall_seconds_sum{span=\"%s\"} %s\n", lv, promFloat(float64(st.WallSumNS)/1e9))
+			p("pas2p_span_wall_seconds_count{span=\"%s\"} %d\n", lv, st.Count)
 		}
-		p("# TYPE pas2p_span_allocs gauge\n")
-		for _, sp := range s.Spans {
-			p("pas2p_span_allocs{span=%q} %d\n", sp.Name, sp.Allocs)
+		family("pas2p_span_allocs_total", "counter",
+			"heap allocations attributed to pipeline stage spans")
+		for _, n := range sortedKeys(s.SpanStats) {
+			p("pas2p_span_allocs_total{span=\"%s\"} %d\n", promLabel(n), s.SpanStats[n].Allocs)
 		}
 	}
 	return err
+}
+
+// promLabel escapes a label value per the exposition format: only
+// backslash, double quote and newline are special; everything else
+// (UTF-8 included) passes through verbatim. Go's %q is wrong here —
+// it emits \uXXXX escapes the format does not define.
+func promLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// promHelp escapes HELP text: the spec makes backslash and newline
+// special there (quotes are fine).
+func promHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// helpFor returns the HELP text for a dotted metric name: curated
+// per-family descriptions, with a generic fallback so every exported
+// family still carries a HELP line.
+func helpFor(name string) string {
+	prefixes := []struct{ prefix, help string }{
+		{"faults.", "fault-injection accounting (deltas published per pipeline stage)"},
+		{"repo.", "signature repository operations (adds, verifies, quarantines, retries)"},
+		{"codec.", "tracefile codec work (blocks, bytes, worker utilisation)"},
+		{"sim.", "discrete-event simulator traffic"},
+		{"signature.", "signature construction and execution"},
+		{"runtime.", "Go runtime state sampled at scrape time"},
+		{"serve.", "telemetry HTTP server"},
+	}
+	for _, pf := range prefixes {
+		if strings.HasPrefix(name, pf.prefix) {
+			return fmt.Sprintf("%s — pas2p metric %s", pf.help, name)
+		}
+	}
+	return "pas2p metric " + name
 }
 
 func sortedKeys[V any](m map[string]V) []string {
@@ -271,15 +559,16 @@ func sortedKeys[V any](m map[string]V) []string {
 }
 
 // promName maps a dotted metric name onto the Prometheus charset and
-// prefixes it with the tool name.
+// prefixes it with the tool name. The prefix means a digit can never
+// end up leading the exported name, so digits pass through at any
+// position.
 func promName(name string) string {
 	var b strings.Builder
 	b.WriteString("pas2p_")
-	for i, r := range name {
+	for _, r := range name {
 		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
-			b.WriteRune(r)
-		case r >= '0' && r <= '9' && i > 0:
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_',
+			r >= '0' && r <= '9':
 			b.WriteRune(r)
 		default:
 			b.WriteByte('_')

@@ -1,0 +1,32 @@
+package obs
+
+import "runtime"
+
+// CollectRuntime refreshes the runtime.* gauges on the registry from
+// the Go runtime: heap size and object counts, GC cycle and pause
+// accounting, goroutine count and the CPU shape. It is called by the
+// telemetry server on every scrape (pull-based, like everything else
+// in this package), so the gauges are as fresh as the scrape that
+// reads them and cost nothing between scrapes. Safe on a nil registry.
+func CollectRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("runtime.heap_alloc_bytes").Set(float64(ms.HeapAlloc))
+	reg.Gauge("runtime.heap_sys_bytes").Set(float64(ms.HeapSys))
+	reg.Gauge("runtime.heap_objects").Set(float64(ms.HeapObjects))
+	reg.Gauge("runtime.total_alloc_bytes").Set(float64(ms.TotalAlloc))
+	reg.Gauge("runtime.mallocs_total").Set(float64(ms.Mallocs))
+	reg.Gauge("runtime.gc_cycles_total").Set(float64(ms.NumGC))
+	reg.Gauge("runtime.gc_pause_total_seconds").Set(float64(ms.PauseTotalNs) / 1e9)
+	if ms.NumGC > 0 {
+		reg.Gauge("runtime.gc_pause_last_seconds").Set(
+			float64(ms.PauseNs[(ms.NumGC+255)%256]) / 1e9)
+	}
+	reg.Gauge("runtime.next_gc_bytes").Set(float64(ms.NextGC))
+	reg.Gauge("runtime.goroutines").Set(float64(runtime.NumGoroutine()))
+	reg.Gauge("runtime.gomaxprocs").Set(float64(runtime.GOMAXPROCS(0)))
+	reg.Gauge("runtime.cpus").Set(float64(runtime.NumCPU()))
+}

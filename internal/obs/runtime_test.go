@@ -1,0 +1,37 @@
+package obs
+
+import "testing"
+
+// TestCollectRuntime refreshes the runtime gauges twice and sanity
+// checks the values: live process numbers must be positive, and a
+// scrape between allocations must see totals move forward.
+func TestCollectRuntime(t *testing.T) {
+	CollectRuntime(nil) // nil registry is a no-op
+
+	r := NewRegistry()
+	CollectRuntime(r)
+	s := r.Snapshot()
+	for _, g := range []string{
+		"runtime.heap_alloc_bytes", "runtime.heap_sys_bytes", "runtime.heap_objects",
+		"runtime.total_alloc_bytes", "runtime.goroutines", "runtime.gomaxprocs", "runtime.cpus",
+	} {
+		if v, ok := s.Gauges[g]; !ok || v <= 0 {
+			t.Errorf("gauge %s = %v (present %v), want > 0", g, v, ok)
+		}
+	}
+	if _, ok := s.Gauges["runtime.gc_pause_total_seconds"]; !ok {
+		t.Error("gc_pause_total_seconds gauge missing")
+	}
+
+	before := s.Gauges["runtime.total_alloc_bytes"]
+	sink := make([][]byte, 64)
+	for i := range sink {
+		sink[i] = make([]byte, 4096)
+	}
+	CollectRuntime(r)
+	after := r.Snapshot().Gauges["runtime.total_alloc_bytes"]
+	if after <= before {
+		t.Errorf("total_alloc_bytes did not advance across allocations: %v -> %v", before, after)
+	}
+	_ = sink
+}

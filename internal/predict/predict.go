@@ -121,6 +121,7 @@ func Run(e Experiment) (*Outcome, error) {
 	// compares equal to signature.Options{} when no faults are injected.
 	if e.Faults != nil {
 		e.Signature.Faults = e.Faults
+		e.Faults.SetObserver(o)
 	}
 	warmOcc := e.WarmOccurrence
 	if warmOcc == 0 {

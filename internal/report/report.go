@@ -12,6 +12,7 @@ import (
 
 	"pas2p/internal/apps"
 	"pas2p/internal/machine"
+	"pas2p/internal/obs"
 	"pas2p/internal/phase"
 	"pas2p/internal/predict"
 	"pas2p/internal/vtime"
@@ -28,6 +29,9 @@ type Options struct {
 	// ParallelPhases fans the phase-extraction stage of every
 	// experiment out over the CPUs.
 	ParallelPhases bool
+	// Observer, when non-nil, instruments every experiment's pipeline
+	// (stage spans, counters) — pas2p-bench -serve exposes it live.
+	Observer *obs.Observer
 }
 
 // phaseConfig returns the phase thresholds the experiments run with —
@@ -87,6 +91,7 @@ func runExperiment(name string, procs int, workload string,
 		Target:        target,
 		EventOverhead: opts.EventOverhead,
 		PhaseConfig:   opts.phaseConfig(),
+		Observer:      opts.Observer,
 	})
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
+	"pas2p/internal/obs"
 	"pas2p/internal/trace"
 	"pas2p/internal/vtime"
 )
@@ -78,6 +79,7 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 	// so the whole execution agrees on which restarts crash and which
 	// phases are abandoned before any virtual time passes.
 	inj := s.Options.Faults
+	inj.SetObserver(s.Options.Observer)
 	var lost []bool               // [segment]: some rank's retries exhausted
 	var segFailures []int         // [segment]: coordinated failed attempts (max over ranks)
 	var segRetry []vtime.Duration // [segment]: priced retry cost, identical on every rank
@@ -127,6 +129,11 @@ func (s *Signature) Execute(target *machine.Deployment) (*ExecResult, error) {
 				rank: rank, segs: s.segments, restart: restartCost,
 				cold:   s.Options.ColdFactor,
 				record: func(seg int, c cell) { meas[seg][rank] = c },
+			}
+			if rank == 0 {
+				// One flight event per cluster-wide transition, not one
+				// per rank: only rank 0 carries the observer.
+				x.obs = s.Options.Observer
 			}
 			if lost != nil {
 				x.lost = lost
@@ -255,6 +262,10 @@ type executorInterceptor struct {
 	failures []int
 	retry    []vtime.Duration
 
+	// obs (rank 0 only) records checkpoint restarts and abandoned
+	// phases on the flight recorder.
+	obs *obs.Observer
+
 	seg   int
 	state execState
 	cur   cell
@@ -324,6 +335,10 @@ func (x *executorInterceptor) at(c *mpi.Comm, pos int64) {
 					c.Annotate(fmt.Sprintf("phase %d abandoned (%d crashed restarts)",
 						seg.row.PhaseID, x.failures[x.seg]))
 				}
+				x.obs.Event("exec.phase_abandoned",
+					fmt.Sprintf("phase %d dropped from Eq. (1) after %d crashed restarts",
+						seg.row.PhaseID, x.failures[x.seg]),
+					x.rank, int64(seg.row.PhaseID))
 				c.Elapse(x.restart + x.retry[x.seg])
 				c.SetMode(0, true)
 				x.seg++
@@ -333,6 +348,12 @@ func (x *executorInterceptor) at(c *mpi.Comm, pos int64) {
 			// price (leave free mode first) — plus any injected crash
 			// retries — then run the warm-up region with a cold machine.
 			x.cur = cell{restart: x.restart + x.retryAt()}
+			if x.obs != nil {
+				x.obs.Event("exec.restart",
+					fmt.Sprintf("checkpoint restart, phase %d (%d crashed attempts)",
+						seg.row.PhaseID, x.failuresAt()),
+					x.rank, int64(seg.row.PhaseID))
+			}
 			c.SetMode(1, false)
 			if c.TimelineOn() {
 				if f := x.failuresAt(); f > 0 {

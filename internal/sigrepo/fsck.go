@@ -105,6 +105,7 @@ func (r *Repo) Fsck() (*FsckReport, error) {
 			}
 			rep.Quarantined = append(rep.Quarantined, qpath)
 			r.bump("repo.quarantined", 1)
+			r.event("repo.quarantine", "corrupt signature quarantined: "+qpath)
 			continue
 		}
 		rep.Verified++
@@ -153,6 +154,7 @@ func (r *Repo) Fsck() (*FsckReport, error) {
 			}
 			rep.Quarantined = append(rep.Quarantined, qpath)
 			r.bump("repo.quarantined", 1)
+			r.event("repo.quarantine", "corrupt tracefile quarantined: "+qpath)
 			continue
 		}
 		rep.TracesVerified++
@@ -194,6 +196,10 @@ func (r *Repo) Fsck() (*FsckReport, error) {
 	}
 	if err := r.storeManifest(rebuilt); err != nil {
 		return nil, err
+	}
+	if rep.ManifestRebuilt {
+		r.event("repo.manifest_rebuilt",
+			fmt.Sprintf("manifest rebuilt from %d verified entries", len(rebuilt.Entries)))
 	}
 	return rep, nil
 }

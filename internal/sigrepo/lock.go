@@ -30,6 +30,8 @@ func (r *Repo) acquireLock() (func(), error) {
 			if age := time.Since(fi.ModTime()); age > r.staleLockAge {
 				r.fs.Remove(path)
 				r.bump("repo.lock_takeovers", 1)
+				r.event("repo.lock_takeover",
+					fmt.Sprintf("stale lock (age %v) broken and taken over", age.Round(time.Millisecond)))
 				continue
 			}
 		} else if os.IsNotExist(serr) {

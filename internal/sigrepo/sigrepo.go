@@ -55,6 +55,7 @@ type Repo struct {
 	dir string
 	fs  fsx.FS
 	reg *obs.Registry
+	obs *obs.Observer // flight-recorder events for durability incidents
 
 	// Operational knobs, defaulted by open; tests shrink them.
 	retryAttempts int           // bounded retry of transient write errors
@@ -93,11 +94,27 @@ func OpenFS(dir string, fs fsx.FS, reg *obs.Registry) (*Repo, error) {
 	}, nil
 }
 
+// SetObserver attaches an observer whose flight recorder receives one
+// structured event per durability incident (quarantine, manifest
+// rebuild, lock takeover, retried write). Call before sharing the repo
+// across goroutines; a nil observer detaches.
+func (r *Repo) SetObserver(o *obs.Observer) {
+	r.obs = o
+	if o != nil && o.Reg() != nil {
+		r.reg = o.Reg()
+	}
+}
+
 // bump adds to a repo.* counter when a registry is attached.
 func (r *Repo) bump(name string, n int64) {
 	if r.reg != nil && n != 0 {
 		r.reg.Counter(name).Add(n)
 	}
+}
+
+// event records a durability incident on the attached flight recorder.
+func (r *Repo) event(kind, msg string) {
+	r.obs.Event(kind, msg, -1, 0)
 }
 
 // withRetry runs op, retrying transient failures with exponential
@@ -113,6 +130,7 @@ func (r *Repo) withRetry(op func() error) error {
 			return err
 		}
 		r.bump("repo.retries", 1)
+		r.event("repo.retry", fmt.Sprintf("transient write error, retrying: %v", err))
 		time.Sleep(backoff)
 		backoff *= 2
 	}

@@ -448,6 +448,7 @@ func (e *Engine) loop() {
 				continue
 			}
 			e.err = e.deadlockError()
+			e.cfg.Observer.Event("sim.deadlock", e.err.Error(), -1, int64(e.n-e.doneCount))
 			return
 		}
 		if e.schedLog != nil {
