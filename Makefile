@@ -5,11 +5,12 @@ GO ?= go
 # simulated rank (and ./internal/obs/... recursively covers obshttp,
 # whose tests scrape a live server while spans and flight events are
 # recorded), faults counters are bumped from rank goroutines, sigrepo
-# serializes concurrent writers on a lock file, and trace runs the
-# parallel block codec (encode pool, decode batch engine).
-RACE_PKGS = ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/... ./internal/trace/... ./internal/sim/...
+# serializes concurrent writers on a lock file, trace runs the
+# parallel block codec (encode pool, decode batch engine), and
+# scenario runs campaign cases on a bounded worker pool.
+RACE_PKGS = ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/... ./internal/trace/... ./internal/sim/... ./internal/scenario/...
 
-.PHONY: build test race bench bench-json bench-baseline check cover fuzz
+.PHONY: build test race bench bench-json bench-baseline check cover fuzz scenarios
 
 build:
 	$(GO) build ./...
@@ -48,6 +49,12 @@ fuzz:
 	$(GO) test -fuzz=FuzzDecodeTracefile -fuzztime=10s ./internal/trace
 	$(GO) test -fuzz=FuzzBlockReader -fuzztime=10s ./internal/trace
 	$(GO) test -fuzz=FuzzLogicalOrder -fuzztime=10s ./internal/logical
+	$(GO) test -fuzz=FuzzScenarioParse -fuzztime=10s ./internal/scenario
+
+# Execute the starter scenario suite end to end (the declarative
+# chaos/predict campaign; see examples/scenarios/).
+scenarios: build
+	$(GO) run ./cmd/pas2p scenario run examples/scenarios -junit scenario-results.xml
 
 check: build
 	$(GO) vet ./...

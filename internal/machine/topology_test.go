@@ -1,0 +1,208 @@
+package machine
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"pas2p/internal/vtime"
+)
+
+// TestEveryPresetCodecRoundTrip: each Table 2 preset survives the JSON
+// codec bit-exactly — the `pas2p clusters -export` / `@file.json`
+// custom-cluster path must not silently alter any preset field.
+func TestEveryPresetCodecRoundTrip(t *testing.T) {
+	for _, cl := range Presets() {
+		t.Run(cl.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := SaveCluster(&buf, cl); err != nil {
+				t.Fatalf("save: %v", err)
+			}
+			back, err := LoadCluster(&buf)
+			if err != nil {
+				t.Fatalf("load: %v", err)
+			}
+			if !reflect.DeepEqual(cl, back) {
+				t.Fatalf("round trip changed the model:\n%+v\nvs\n%+v", cl, back)
+			}
+		})
+	}
+}
+
+// TestPresetTable pins the Table 2 rows: names, ISA, topology, and the
+// cross-cluster compute-rate ordering the prediction experiments rely
+// on (C fastest per core, D slowest).
+func TestPresetTable(t *testing.T) {
+	cases := []struct {
+		cl           *Cluster
+		name, isa    string
+		nodes, cores int
+	}{
+		{ClusterA(), "Cluster A", "x86_64", 64, 2},
+		{ClusterB(), "Cluster B", "x86_64", 8, 8},
+		{ClusterC(), "Cluster C", "x86_64", 16, 16},
+		{ClusterD(), "Cluster D", "ia64", 11, 16},
+	}
+	seen := map[string]bool{}
+	for _, tc := range cases {
+		if tc.cl.Name != tc.name || tc.cl.ISA != tc.isa ||
+			tc.cl.Nodes != tc.nodes || tc.cl.CoresPerNode != tc.cores {
+			t.Errorf("preset drifted from Table 2: %+v", tc.cl)
+		}
+		if err := tc.cl.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", tc.name, err)
+		}
+		if seen[tc.cl.Name] {
+			t.Errorf("duplicate preset name %q", tc.cl.Name)
+		}
+		seen[tc.cl.Name] = true
+		// ByName resolves short, lowercase and full forms to the model.
+		short := tc.name[len("Cluster "):]
+		for _, alias := range []string{short, tc.name} {
+			got := ByName(alias)
+			if got == nil || !reflect.DeepEqual(got, tc.cl) {
+				t.Errorf("ByName(%q) != %s preset", alias, tc.name)
+			}
+		}
+	}
+	if a, c, d := ClusterA(), ClusterC(), ClusterD(); !(d.CoreGFLOPS < a.CoreGFLOPS && a.CoreGFLOPS < c.CoreGFLOPS) {
+		t.Errorf("per-core rate ordering broken: D %.1f, A %.1f, C %.1f",
+			d.CoreGFLOPS, a.CoreGFLOPS, c.CoreGFLOPS)
+	}
+}
+
+// topologies under test: a 4-ary fat tree and a torus, both over a
+// 16-node machine.
+func testTopologies() []struct {
+	name  string
+	topo  Topology
+	nodes int
+} {
+	return []struct {
+		name  string
+		topo  Topology
+		nodes int
+	}{
+		{"fat-tree", Topology{Kind: TopoFatTree, Radix: 4,
+			HopLatency: vtime.Microsecond, HopBandwidthTaper: 0.5}, 16},
+		{"torus2d", Topology{Kind: TopoTorus2D,
+			HopLatency: vtime.Microsecond, HopBandwidthTaper: 0.9}, 16},
+	}
+}
+
+// TestHopsMetricProperties: over every node pair of each topology the
+// hop count is zero exactly on the diagonal, symmetric, and satisfies
+// the triangle inequality over every triple (the fat tree's
+// hierarchical distance is even ultrametric, which implies it).
+func TestHopsMetricProperties(t *testing.T) {
+	for _, tc := range testTopologies() {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.topo.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			n := tc.nodes
+			for a := 0; a < n; a++ {
+				if h := tc.topo.Hops(a, a, n); h != 0 {
+					t.Fatalf("Hops(%d,%d) = %d, want 0", a, a, h)
+				}
+				for b := 0; b < n; b++ {
+					hab := tc.topo.Hops(a, b, n)
+					if a != b && hab < 1 {
+						t.Fatalf("Hops(%d,%d) = %d, want >= 1", a, b, hab)
+					}
+					if hba := tc.topo.Hops(b, a, n); hba != hab {
+						t.Fatalf("asymmetric: Hops(%d,%d)=%d but Hops(%d,%d)=%d",
+							a, b, hab, b, a, hba)
+					}
+				}
+			}
+			for a := 0; a < n; a++ {
+				for b := 0; b < n; b++ {
+					for c := 0; c < n; c++ {
+						ab := tc.topo.Hops(a, b, n)
+						bc := tc.topo.Hops(b, c, n)
+						ac := tc.topo.Hops(a, c, n)
+						if ac > ab+bc {
+							t.Fatalf("triangle inequality violated: d(%d,%d)=%d > d(%d,%d)=%d + d(%d,%d)=%d",
+								a, c, ac, a, b, ab, b, c, bc)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestFatTreeUltrametric: the hierarchical fat-tree distance satisfies
+// the stronger ultrametric bound d(a,c) <= max(d(a,b), d(b,c)).
+func TestFatTreeUltrametric(t *testing.T) {
+	topo := Topology{Kind: TopoFatTree, Radix: 4, HopBandwidthTaper: 1}
+	const n = 16
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			for c := 0; c < n; c++ {
+				ab, bc, ac := topo.Hops(a, b, n), topo.Hops(b, c, n), topo.Hops(a, c, n)
+				max := ab
+				if bc > max {
+					max = bc
+				}
+				if ac > max {
+					t.Fatalf("ultrametric violated: d(%d,%d)=%d > max(d(%d,%d)=%d, d(%d,%d)=%d)",
+						a, c, ac, a, b, ab, b, c, bc)
+				}
+			}
+		}
+	}
+}
+
+// TestPathAcrossMonotone: more hops never make a path faster — latency
+// is non-decreasing and bandwidth non-increasing in the hop count, and
+// one hop leaves the base parameters untouched.
+func TestPathAcrossMonotone(t *testing.T) {
+	for _, tc := range testTopologies() {
+		t.Run(tc.name, func(t *testing.T) {
+			base := GigabitEthernet()
+			if got := tc.topo.pathAcross(base, 1); got != base {
+				t.Fatalf("single hop altered the base path: %+v", got)
+			}
+			prev := tc.topo.pathAcross(base, 1)
+			for hops := 2; hops <= 6; hops++ {
+				p := tc.topo.pathAcross(base, hops)
+				if p.Latency < prev.Latency {
+					t.Fatalf("latency decreased at %d hops: %v < %v", hops, p.Latency, prev.Latency)
+				}
+				if p.Bandwidth > prev.Bandwidth {
+					t.Fatalf("bandwidth increased at %d hops: %v > %v", hops, p.Bandwidth, prev.Bandwidth)
+				}
+				if !p.Valid() {
+					t.Fatalf("tapered path invalid at %d hops: %+v", hops, p)
+				}
+				prev = p
+			}
+		})
+	}
+}
+
+// TestTorusHopsScaleWithSide: wraparound caps the torus distance at
+// side/2 per axis, so the diameter of an s x s torus is 2*(s/2).
+func TestTorusHopsScaleWithSide(t *testing.T) {
+	topo := Topology{Kind: TopoTorus2D, HopBandwidthTaper: 1}
+	for _, side := range []int{2, 3, 4, 5} {
+		n := side * side
+		maxHops := 0
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if h := topo.Hops(a, b, n); h > maxHops {
+					maxHops = h
+				}
+			}
+		}
+		want := 2 * (side / 2)
+		if want < 1 {
+			want = 1
+		}
+		if maxHops != want {
+			t.Errorf("torus %dx%d diameter = %d hops, want %d", side, side, maxHops, want)
+		}
+	}
+}

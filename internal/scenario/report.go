@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"encoding/json"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// PrintTable renders the campaign's pass/fail results table, with one
+// indented line per violated check so a failing CI log names the
+// scenario, the assertion and the measured value without opening the
+// JSON document.
+func PrintTable(w io.Writer, d *Doc) {
+	fmt.Fprintf(w, "%-52s %-8s %-10s %-8s %s\n",
+		"CASE", "STATUS", "PETE", "PHASES", "WALL")
+	for i := range d.Cases {
+		r := &d.Cases[i]
+		pete := "-"
+		if r.PETEPercent != nil {
+			pete = fmt.Sprintf("%.2f%%", *r.PETEPercent)
+		}
+		phases := fmt.Sprintf("%d/%d", r.Relevant, r.Phases)
+		fmt.Fprintf(w, "%-52s %-8s %-10s %-8s %.1fs\n",
+			r.ID, strings.ToUpper(r.Status), pete, phases,
+			float64(r.WallMS)/1e3)
+		if r.Error != "" {
+			// A panic's stack is in the JSON/JUnit output; the table
+			// keeps its first line.
+			msg := r.Error
+			if i := strings.IndexByte(msg, '\n'); i >= 0 {
+				msg = msg[:i]
+			}
+			fmt.Fprintf(w, "    %s\n", msg)
+		}
+		for _, c := range r.Failures() {
+			fmt.Fprintf(w, "    %s\n", c)
+		}
+	}
+	fmt.Fprintf(w, "\n%d scenarios, %d cases: %d passed, %d failed (%.1fs)\n",
+		d.Scenarios, len(d.Cases), d.Passed, d.Failed, float64(d.WallMS)/1e3)
+}
+
+// WriteJSON writes the canonical results document: wall-clock and
+// allocation fields are zeroed so the same campaign produces
+// byte-identical output on every run.
+func WriteJSON(w io.Writer, d *Doc) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(d.Canonical())
+}
+
+// JUnit XML document model (the subset CI services consume).
+type junitSuites struct {
+	XMLName  xml.Name     `xml:"testsuites"`
+	Tests    int          `xml:"tests,attr"`
+	Failures int          `xml:"failures,attr"`
+	Suites   []junitSuite `xml:"testsuite"`
+}
+
+type junitSuite struct {
+	Name     string      `xml:"name,attr"`
+	Tests    int         `xml:"tests,attr"`
+	Failures int         `xml:"failures,attr"`
+	Time     string      `xml:"time,attr"`
+	Cases    []junitCase `xml:"testcase"`
+}
+
+type junitCase struct {
+	Name      string        `xml:"name,attr"`
+	ClassName string        `xml:"classname,attr"`
+	Time      string        `xml:"time,attr"`
+	Failures  []junitDetail `xml:"failure,omitempty"`
+	Errors    []junitDetail `xml:"error,omitempty"`
+}
+
+type junitDetail struct {
+	Message string `xml:"message,attr"`
+	Body    string `xml:",chardata"`
+}
+
+// WriteJUnit writes the campaign as JUnit XML: one testsuite per
+// scenario, one testcase per matrix cell. Violated assertions become
+// <failure> elements naming the assertion and the measured value;
+// pipeline errors, timeouts and panics become <error> elements.
+func WriteJUnit(w io.Writer, d *Doc) error {
+	bySuite := map[string]*junitSuite{}
+	var order []string
+	for i := range d.Cases {
+		r := &d.Cases[i]
+		s, ok := bySuite[r.Scenario]
+		if !ok {
+			s = &junitSuite{Name: "scenario/" + r.Scenario}
+			bySuite[r.Scenario] = s
+			order = append(order, r.Scenario)
+		}
+		jc := junitCase{
+			Name:      r.ID,
+			ClassName: r.App,
+			Time:      fmt.Sprintf("%.3f", float64(r.WallMS)/1e3),
+		}
+		switch r.Status {
+		case StatusPass:
+		case StatusFail:
+			for _, c := range r.Failures() {
+				jc.Failures = append(jc.Failures, junitDetail{
+					Message: fmt.Sprintf("%s: got %s, want %s", c.Assertion, c.Got, c.Want),
+					Body:    c.String(),
+				})
+			}
+		default: // error, timeout, panic
+			jc.Errors = append(jc.Errors, junitDetail{
+				Message: r.Status,
+				Body:    r.Error,
+			})
+		}
+		s.Cases = append(s.Cases, jc)
+		s.Tests++
+		if r.Status != StatusPass {
+			s.Failures++
+		}
+	}
+	doc := junitSuites{Tests: len(d.Cases), Failures: d.Failed}
+	for _, name := range order {
+		s := bySuite[name]
+		var suiteMS int64
+		for i := range d.Cases {
+			if d.Cases[i].Scenario == name {
+				suiteMS += d.Cases[i].WallMS
+			}
+		}
+		s.Time = fmt.Sprintf("%.3f", float64(suiteMS)/1e3)
+		doc.Suites = append(doc.Suites, *s)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", " ")
+	if err := enc.Encode(doc); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseTreeShape: a document exercising every supported construct
+// parses into the expected node tree.
+func TestParseTreeShape(t *testing.T) {
+	doc := `---
+# campaign header comment
+name: demo  # trailing comment
+description: 'it''s quoted'
+note: "line\nbreak # not a comment"
+app:
+  name: cg
+  ranks: 8
+list: [a, 'b b', "c"]
+seq:
+  - one
+  - two
+`
+	root, err := parseTree("t.yaml", []byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.isMap || len(root.entries) != 6 {
+		t.Fatalf("root: isMap=%v entries=%d", root.isMap, len(root.entries))
+	}
+	if got := root.get("name").scalar; got != "demo" {
+		t.Errorf("name = %q", got)
+	}
+	if got := root.get("description").scalar; got != "it's quoted" {
+		t.Errorf("description = %q", got)
+	}
+	if got := root.get("note").scalar; got != "line\nbreak # not a comment" {
+		t.Errorf("note = %q", got)
+	}
+	app := root.get("app")
+	if !app.isMap || app.get("ranks").scalar != "8" {
+		t.Errorf("app block wrong: %+v", app)
+	}
+	list := root.get("list")
+	if !list.isSeq || len(list.items) != 3 || list.items[1].scalar != "b b" {
+		t.Errorf("inline list wrong: %+v", list)
+	}
+	seq := root.get("seq")
+	if !seq.isSeq || len(seq.items) != 2 || seq.items[1].scalar != "two" {
+		t.Errorf("block sequence wrong: %+v", seq)
+	}
+	// Positions: `name` is on line 3 of the source.
+	if root.entries[0].keyLine != 3 {
+		t.Errorf("name keyLine = %d, want 3", root.entries[0].keyLine)
+	}
+}
+
+// TestParseTreeRejects: every unsupported or malformed construct fails
+// with a positioned error on the offending line.
+func TestParseTreeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		line int
+		msg  string
+	}{
+		{"empty", "", 1, "empty scenario document"},
+		{"comment only", "# nothing\n", 1, "empty scenario document"},
+		{"tab indent", "a: 1\n\tb: 2\n", 2, "tab character"},
+		{"tab content", "a: x\ty\n", 1, "tab character"},
+		{"top-level sequence", "- a\n- b\n", 1, "must be a mapping"},
+		{"multi-doc", "---\na: 1\n---\nb: 2\n", 3, "multi-document"},
+		{"duplicate key", "a: 1\nb: 2\na: 3\n", 3, `duplicate key "a"`},
+		{"key without value", "a: 1\nb:\n", 2, "has no value"},
+		{"bare scalar line", "a: 1\njust words\n", 2, "key: value"},
+		{"quoted key", "'a': 1\n", 1, "quoted mapping keys"},
+		{"inconsistent indent", "a:\n    b: 1\n  c: 2\n", 3, "inconsistent indentation"},
+		{"over-indent in map", "a: 1\n  b: 2\n", 2, "inconsistent indentation"},
+		{"seq item in map", "a: 1\n- b\n", 2, "sequence item where a mapping key"},
+		{"nested seq block", "a:\n  - x\n    - y\n", 3, "nested blocks under '-'"},
+		{"nested seq inline", "a:\n  - - y\n", 2, "nested sequences"},
+		{"map in seq", "a:\n  - k: v\n", 2, "mapping items inside sequences"},
+		{"empty seq item", "a:\n  -\n", 2, "empty sequence item"},
+		{"flow map", "a: {k: v}\n", 1, "flow mappings"},
+		{"anchor", "a: &x 1\n", 1, "anchors"},
+		{"alias", "a: *x\n", 1, "anchors"},
+		{"block scalar", "a: |\n", 1, "block scalars"},
+		{"unclosed list", "a: [1, 2\n", 1, "not closed"},
+		{"nested inline list", "a: [1, [2]]\n", 1, "nested inline lists"},
+		{"empty list item", "a: [1, , 2]\n", 1, "empty item"},
+		{"unterminated single quote", "a: 'x\n", 1, "unterminated single-quoted"},
+		{"stray single quote", "a: 'x'y'\n", 1, "quote"},
+		{"unterminated double quote", "a: \"x\n", 1, "unterminated double-quoted"},
+		{"bad escape", `a: "x\q"` + "\n", 1, `unsupported escape`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := parseTree("t.yaml", []byte(tc.doc))
+			if err == nil {
+				t.Fatalf("parse accepted %q", tc.doc)
+			}
+			pe, ok := AsParseError(err)
+			if !ok {
+				t.Fatalf("error is not positioned: %v", err)
+			}
+			if pe.File != "t.yaml" {
+				t.Errorf("file = %q", pe.File)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("line = %d, want %d (err: %v)", pe.Line, tc.line, err)
+			}
+			if !strings.Contains(pe.Msg, tc.msg) {
+				t.Errorf("message %q does not mention %q", pe.Msg, tc.msg)
+			}
+		})
+	}
+}
+
+// TestStripComment: '#' only starts a comment at the margin or after a
+// space, and never inside quotes.
+func TestStripComment(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a: b # c", "a: b"},
+		{"# whole line", ""},
+		{"a: b#c", "a: b#c"},
+		{"a: 'b # c'", "a: 'b # c'"},
+		{`a: "b # c" # d`, `a: "b # c"`},
+		{"a: 'it''s # x' # y", "a: 'it''s # x'"},
+	}
+	for _, tc := range cases {
+		if got := stripComment(tc.in); got != tc.want {
+			t.Errorf("stripComment(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
