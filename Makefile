@@ -6,9 +6,12 @@ GO ?= go
 # whose tests scrape a live server while spans and flight events are
 # recorded), faults counters are bumped from rank goroutines, sigrepo
 # serializes concurrent writers on a lock file, trace runs the
-# parallel block codec (encode pool, decode batch engine), and
-# scenario runs campaign cases on a bounded worker pool.
-RACE_PKGS = ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/... ./internal/trace/... ./internal/sim/... ./internal/scenario/...
+# parallel block codec (encode pool, decode batch engine), scenario
+# runs campaign cases on a bounded worker pool, and service (plus its
+# daemon and load generator) serves concurrent HTTP traffic over
+# shared admission, cache, and drain state — including the chaos
+# serving proof.
+RACE_PKGS = ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/... ./internal/trace/... ./internal/sim/... ./internal/scenario/... ./internal/service/... ./cmd/pas2pd/... ./cmd/pas2p-loadgen/...
 
 .PHONY: build test race bench bench-json bench-baseline check cover fuzz scenarios
 
@@ -50,6 +53,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzBlockReader -fuzztime=10s ./internal/trace
 	$(GO) test -fuzz=FuzzLogicalOrder -fuzztime=10s ./internal/logical
 	$(GO) test -fuzz=FuzzScenarioParse -fuzztime=10s ./internal/scenario
+	$(GO) test -fuzz=FuzzServiceRequest -fuzztime=10s ./internal/service
 
 # Execute the starter scenario suite end to end (the declarative
 # chaos/predict campaign; see examples/scenarios/).

@@ -1,0 +1,300 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pas2p/internal/service"
+)
+
+// Operation classes — also the report's class keys.
+const (
+	opAnalyze = "analyze"
+	opSign    = "sign"
+	opLookup  = "lookup"
+	opPredict = "predict"
+)
+
+// result records one logical operation (including its retries).
+type result struct {
+	class   string
+	ok      bool
+	status  int    // final HTTP status (0 on transport failure)
+	code    string // typed error code on failure ("" on success)
+	retries int    // extra attempts after the first
+	latency time.Duration
+	unclean bool // transport error, untyped body, or checksum mismatch
+	detail  string
+	cache   string // analyze only: X-Cache of a successful answer
+}
+
+func (r result) outcome() string {
+	if r.ok {
+		return "ok"
+	}
+	if r.code != "" {
+		return r.code
+	}
+	return "unclean"
+}
+
+// shaLedger pins the signature payload checksum across the campaign:
+// once any response reports a SHA for the (app, procs, workload)
+// identity, later responses must agree unless a sign legitimately
+// rewrote the entry. Sign rewrites store the same deterministic
+// payload, so a mismatch is a served-corruption incident.
+type shaLedger struct {
+	mu  sync.Mutex
+	sha map[string]string
+}
+
+var ledger = &shaLedger{sha: make(map[string]string)}
+
+func (l *shaLedger) check(key, sha string) error {
+	if sha == "" {
+		return fmt.Errorf("response carries no payload_sha256")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if prev, ok := l.sha[key]; ok && prev != sha {
+		return fmt.Errorf("payload_sha256 flapped: %.12s… then %.12s…", prev, sha)
+	}
+	l.sha[key] = sha
+	return nil
+}
+
+// client is one worker's connection to the daemon: it retries shed
+// and queue-full responses with jittered backoff, honouring the
+// server's Retry-After (clamped so a test campaign still makes
+// progress), and verifies every success's checksum.
+type client struct {
+	opts     options
+	hc       *http.Client
+	rng      *rand.Rand
+	traceRaw []byte
+	traceCRC uint32
+
+	maxAttempts  int
+	maxRetrySlee time.Duration
+}
+
+func newClient(opts options, rng *rand.Rand, traceRaw []byte, traceCRC uint32) *client {
+	return &client{
+		opts:         opts,
+		hc:           &http.Client{Timeout: 2 * time.Minute},
+		rng:          rng,
+		traceRaw:     traceRaw,
+		traceCRC:     traceCRC,
+		maxAttempts:  5,
+		maxRetrySlee: 2 * time.Second,
+	}
+}
+
+func (c *client) url(path string) string { return "http://" + c.opts.addr + path }
+
+func (c *client) shaKey() string {
+	return fmt.Sprintf("%s/p%d/%s", c.opts.app, c.opts.procs, c.opts.workload)
+}
+
+// do performs one logical operation with retries and returns its
+// result record.
+func (c *client) do(op string) result {
+	res := result{class: op}
+	backoff := 50 * time.Millisecond
+	start := time.Now()
+	for attempt := 0; ; attempt++ {
+		status, cacheHdr, body, err := c.send(op)
+		if err != nil {
+			// Transport-level failure: retry a little — a drain can kill
+			// the connection under us — but a persistent one is unclean.
+			if attempt+1 < c.maxAttempts {
+				res.retries++
+				time.Sleep(c.jitter(backoff))
+				backoff *= 2
+				continue
+			}
+			res.unclean = true
+			res.detail = fmt.Sprintf("%s: transport: %v", op, err)
+			res.latency = time.Since(start)
+			return res
+		}
+		res.status = status
+		if status == http.StatusOK {
+			res.latency = time.Since(start)
+			res.cache = cacheHdr
+			if verr := c.verify(op, body); verr != nil {
+				res.unclean = true
+				res.detail = fmt.Sprintf("%s: %v", op, verr)
+				return res
+			}
+			res.ok = true
+			return res
+		}
+		code, retryAfter, perr := parseTypedError(body)
+		if perr != nil {
+			res.unclean = true
+			res.detail = fmt.Sprintf("%s: untyped %d response: %v", op, status, perr)
+			res.latency = time.Since(start)
+			return res
+		}
+		res.code = code
+		if retryable(status) && attempt+1 < c.maxAttempts {
+			res.retries++
+			time.Sleep(c.retryDelay(retryAfter, backoff))
+			backoff *= 2
+			continue
+		}
+		res.latency = time.Since(start)
+		return res
+	}
+}
+
+// retryable: the statuses the server uses for load shedding and
+// draining; everything else is a final answer.
+func retryable(status int) bool {
+	return status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable
+}
+
+// retryDelay honours Retry-After but clamps it so short campaigns keep
+// probing a shedding server, and jitters so workers do not re-arrive
+// in lockstep.
+func (c *client) retryDelay(retryAfter, backoff time.Duration) time.Duration {
+	d := backoff
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > c.maxRetrySlee {
+		d = c.maxRetrySlee
+	}
+	return c.jitter(d)
+}
+
+func (c *client) jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)))
+}
+
+// send issues one attempt of op and returns (status, X-Cache, body).
+func (c *client) send(op string) (int, string, []byte, error) {
+	var req *http.Request
+	var err error
+	switch op {
+	case opAnalyze:
+		req, err = http.NewRequest(http.MethodPost,
+			c.url("/v1/analyze?warm="+strconv.Itoa(1+c.rng.Intn(2))), bytes.NewReader(c.traceRaw))
+		if req != nil {
+			req.Header.Set("Content-Type", "application/octet-stream")
+		}
+	case opSign:
+		req, err = jsonRequest(c.url("/v1/sign"), service.SignRequest{
+			App: c.opts.app, Procs: c.opts.procs, Workload: c.opts.workload,
+		})
+	case opLookup:
+		req, err = http.NewRequest(http.MethodGet,
+			c.url(fmt.Sprintf("/v1/lookup?app=%s&procs=%d&workload=%s",
+				c.opts.app, c.opts.procs, c.opts.workload)), nil)
+	case opPredict:
+		req, err = jsonRequest(c.url("/v1/predict"), service.PredictRequest{
+			App: c.opts.app, Procs: c.opts.procs, Workload: c.opts.workload,
+			Target: c.opts.target,
+		})
+	default:
+		return 0, "", nil, fmt.Errorf("unknown op %q", op)
+	}
+	if err != nil {
+		return 0, "", nil, err
+	}
+	if c.opts.deadlineMS > 0 {
+		req.Header.Set(service.DeadlineHeader, strconv.Itoa(c.opts.deadlineMS))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, "", nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return 0, "", nil, err
+	}
+	return resp.StatusCode, resp.Header.Get(service.CacheHeader), body, nil
+}
+
+func jsonRequest(url string, v any) (*http.Request, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return req, nil
+}
+
+// verify holds a 200 answer to the checksum-valid contract.
+func (c *client) verify(op string, body []byte) error {
+	switch op {
+	case opAnalyze:
+		var v service.AnalyzeResponse
+		if err := json.Unmarshal(body, &v); err != nil {
+			return fmt.Errorf("undecodable analyze body: %v", err)
+		}
+		if v.TraceCRC32C != c.traceCRC {
+			return fmt.Errorf("analyze echoed crc %08x, uploaded %08x", v.TraceCRC32C, c.traceCRC)
+		}
+		if v.TotalPhases <= 0 {
+			return fmt.Errorf("analyze reports no phases")
+		}
+	case opSign:
+		var v service.SignResponse
+		if err := json.Unmarshal(body, &v); err != nil {
+			return fmt.Errorf("undecodable sign body: %v", err)
+		}
+		return ledger.check(c.shaKey(), v.PayloadSHA256)
+	case opLookup:
+		var v service.LookupResponse
+		if err := json.Unmarshal(body, &v); err != nil {
+			return fmt.Errorf("undecodable lookup body: %v", err)
+		}
+		return ledger.check(c.shaKey(), v.PayloadSHA256)
+	case opPredict:
+		var v service.PredictResponse
+		if err := json.Unmarshal(body, &v); err != nil {
+			return fmt.Errorf("undecodable predict body: %v", err)
+		}
+		if v.PETNS <= 0 {
+			return fmt.Errorf("predict returned PET %d", v.PETNS)
+		}
+		return ledger.check(c.shaKey(), v.PayloadSHA256)
+	}
+	return nil
+}
+
+// parseTypedError decodes the service error envelope; any non-200
+// whose body does not carry one is an unclean failure.
+func parseTypedError(body []byte) (code string, retryAfter time.Duration, err error) {
+	var e struct {
+		Error struct {
+			Code       string `json:"code"`
+			Message    string `json:"message"`
+			RetryAfter int    `json:"retry_after_s"`
+		} `json:"error"`
+	}
+	if uerr := json.Unmarshal(body, &e); uerr != nil {
+		return "", 0, fmt.Errorf("%v (body %.120q)", uerr, body)
+	}
+	if e.Error.Code == "" {
+		return "", 0, fmt.Errorf("error body without a code (body %.120q)", body)
+	}
+	return e.Error.Code, time.Duration(e.Error.RetryAfter) * time.Second, nil
+}

@@ -1,0 +1,242 @@
+// Command pas2p-loadgen drives a running pas2pd with closed-loop
+// mixed traffic (analyze, sign, lookup, predict) and reports latency
+// percentiles and an error budget per request class.
+//
+// Each worker loops: pick an operation by the -mix weights, send it,
+// and — when the server sheds load with 429/503 — back off honouring
+// Retry-After before retrying. The generator verifies every success
+// is checksum-valid (the analyze answer echoes the uploaded trace's
+// CRC; sign/lookup/predict answers carry the signature payload SHA,
+// which must stay consistent across the run), so the report's
+// "unclean" column counts real contract violations: transport
+// failures, untyped error bodies, or checksum mismatches. A clean run
+// ends with zero unclean errors no matter how hard the server shed.
+//
+// Usage:
+//
+//	pas2p-loadgen -addr HOST:PORT [-duration 10s] [-workers 8]
+//	              [-mix analyze=3,lookup=6,predict=2,sign=1]
+//	              [-app cg -procs 8 -workload W -target B]
+//	              [-deadline-ms N] [-seed S] [-report FILE]
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"pas2p"
+	"pas2p/internal/fsx"
+	"pas2p/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if err == flag.ErrHelp {
+			os.Exit(0)
+		}
+		fmt.Fprintf(os.Stderr, "pas2p-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed flag set, separated for tests.
+type options struct {
+	addr       string
+	duration   time.Duration
+	workers    int
+	mix        map[string]int
+	app        string
+	procs      int
+	workload   string
+	target     string
+	deadlineMS int
+	seed       int64
+	reportPath string
+	warmups    int
+}
+
+func parseMix(spec string) (map[string]int, error) {
+	mix := map[string]int{}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(term, "=")
+		if !ok {
+			return nil, fmt.Errorf("mix term %q is not class=weight", term)
+		}
+		switch k {
+		case opAnalyze, opSign, opLookup, opPredict:
+		default:
+			return nil, fmt.Errorf("mix class %q (want analyze, sign, lookup, predict)", k)
+		}
+		w, err := strconv.Atoi(v)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("mix weight %q must be a non-negative integer", v)
+		}
+		mix[k] = w
+	}
+	total := 0
+	for _, w := range mix {
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix selects nothing")
+	}
+	return mix, nil
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pas2p-loadgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", "", "pas2pd address (host:port; required)")
+		duration   = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		workers    = fs.Int("workers", 8, "closed-loop worker count")
+		mixSpec    = fs.String("mix", "analyze=3,lookup=6,predict=2,sign=1", "traffic mix class=weight,...")
+		app        = fs.String("app", "cg", "application the traffic is about")
+		procs      = fs.Int("procs", 8, "process count")
+		workload   = fs.String("workload", "", "workload (default: the app's default)")
+		target     = fs.String("target", "B", "predict target cluster")
+		deadlineMS = fs.Int("deadline-ms", 0, "X-Deadline-Ms to send on every request (0: server default)")
+		seed       = fs.Int64("seed", 1, "traffic-shape seed (op choices, think times)")
+		reportPath = fs.String("report", "", "write the JSON report here ('' = stdout only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	mix, err := parseMix(*mixSpec)
+	if err != nil {
+		return err
+	}
+	opts := options{
+		addr: *addr, duration: *duration, workers: *workers, mix: mix,
+		app: *app, procs: *procs, workload: *workload, target: *target,
+		deadlineMS: *deadlineMS, seed: *seed, reportPath: *reportPath,
+	}
+	rep, err := generate(opts, stdout)
+	if err != nil {
+		return err
+	}
+	printReport(stdout, rep)
+	if *reportPath != "" {
+		if err := fsx.WriteFileAtomic(fsx.OS{}, *reportPath, func(w io.Writer) error {
+			return writeReportJSON(w, rep)
+		}); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "report written to %s\n", *reportPath)
+	}
+	if rep.TotalUnclean > 0 {
+		return fmt.Errorf("%d unclean errors (see report)", rep.TotalUnclean)
+	}
+	return nil
+}
+
+// makeTracefile produces the tracefile bytes the analyze traffic
+// uploads: one local traced run of the app on cluster A, encoded in
+// the v2 checksummed format.
+func makeTracefile(app string, procs int, workload string) ([]byte, uint32, error) {
+	a, err := pas2p.MakeApp(app, procs, workload)
+	if err != nil {
+		return nil, 0, err
+	}
+	d, err := pas2p.NewDeployment(pas2p.ClusterA(), procs, pas2p.MapBlock)
+	if err != nil {
+		return nil, 0, err
+	}
+	res, err := pas2p.RunApp(a, pas2p.RunConfig{Deployment: d, Trace: true})
+	if err != nil {
+		return nil, 0, err
+	}
+	var buf bytes.Buffer
+	if err := pas2p.EncodeTrace(&buf, res.Trace, pas2p.TraceCodecOptions{}); err != nil {
+		return nil, 0, err
+	}
+	data := buf.Bytes()
+	crc, ok := trace.FileCRC(data)
+	if !ok {
+		return nil, 0, fmt.Errorf("encoded tracefile has no v2 trailer")
+	}
+	return data, crc, nil
+}
+
+// generate runs the closed-loop campaign and aggregates the report.
+func generate(opts options, stdout io.Writer) (*Report, error) {
+	traceData, traceCRC, err := makeTracefile(opts.app, opts.procs, opts.workload)
+	if err != nil {
+		return nil, fmt.Errorf("building the analyze payload: %w", err)
+	}
+	fmt.Fprintf(stdout, "loadgen    : %s/%d tracefile is %d bytes (crc32c %08x)\n",
+		opts.app, opts.procs, len(traceData), traceCRC)
+
+	// Seed the repository once so lookup/predict traffic has something
+	// to find; shed responses here are retried like any other.
+	seedCli := newClient(opts, rand.New(rand.NewSource(opts.seed)), traceData, traceCRC)
+	r := seedCli.do(opSign)
+	if r.unclean {
+		return nil, fmt.Errorf("seeding sign failed uncleanly: %s", r.detail)
+	}
+	fmt.Fprintf(stdout, "loadgen    : repository seeded (sign: %s), starting %d workers for %v\n",
+		r.outcome(), opts.workers, opts.duration)
+
+	classes := make([]string, 0, len(opts.mix))
+	weights := make([]int, 0, len(opts.mix))
+	for _, c := range []string{opAnalyze, opSign, opLookup, opPredict} {
+		if w := opts.mix[c]; w > 0 {
+			classes = append(classes, c)
+			weights = append(weights, w)
+		}
+	}
+	totalWeight := 0
+	for _, w := range weights {
+		totalWeight += w
+	}
+
+	deadline := time.Now().Add(opts.duration)
+	var wg sync.WaitGroup
+	workerResults := make([][]result, opts.workers)
+	for wi := 0; wi < opts.workers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.seed + int64(wi)*7919))
+			cli := newClient(opts, rng, traceData, traceCRC)
+			for time.Now().Before(deadline) {
+				n := rng.Intn(totalWeight)
+				op := classes[len(classes)-1]
+				for i, w := range weights {
+					if n < w {
+						op = classes[i]
+						break
+					}
+					n -= w
+				}
+				workerResults[wi] = append(workerResults[wi], cli.do(op))
+			}
+		}(wi)
+	}
+	wg.Wait()
+
+	var all []result
+	for _, rs := range workerResults {
+		all = append(all, rs...)
+	}
+	all = append(all, r) // the seeding sign is traffic too
+	return buildReport(opts, all), nil
+}

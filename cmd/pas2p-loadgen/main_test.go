@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pas2p/internal/service"
+)
+
+// startService runs an in-process signature service for the generator
+// to hammer, returning its host:port.
+func startService(t *testing.T, mod func(*service.Config)) string {
+	t.Helper()
+	cfg := service.Config{RepoDir: t.TempDir()}
+	if mod != nil {
+		mod(&cfg)
+	}
+	svc, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.Listen("127.0.0.1:0", svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.DrainAndShutdown(ctx) //nolint:errcheck
+	})
+	return srv.Addr()
+}
+
+// TestLoadgenCleanCampaign runs a short real campaign against an
+// in-process service: the report must balance, percentiles must be
+// populated, and the error budget must be clean.
+func TestLoadgenCleanCampaign(t *testing.T) {
+	addr := startService(t, nil)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-duration", "700ms",
+		"-workers", "4",
+		"-app", "cg", "-procs", "4",
+		"-mix", "analyze=2,lookup=5,predict=2,sign=1",
+		"-seed", "3",
+		"-report", reportPath,
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstdout:\n%s", err, stdout.String())
+	}
+
+	b, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		t.Fatalf("report is not JSON: %v", err)
+	}
+	if !rep.Clean || rep.TotalUnclean != 0 {
+		t.Fatalf("campaign not clean: %+v", rep)
+	}
+	if rep.TotalRequests == 0 || rep.TotalOK == 0 {
+		t.Fatalf("campaign did nothing: %+v", rep)
+	}
+	var sum int64
+	for class, cs := range rep.Classes {
+		sum += cs.Requests
+		if cs.OK > 0 && cs.P50MS <= 0 {
+			t.Errorf("class %s has OKs but no p50", class)
+		}
+		if cs.P50MS > cs.P95MS || cs.P95MS > cs.P99MS {
+			t.Errorf("class %s percentiles not monotone: %+v", class, cs)
+		}
+	}
+	if sum != rep.TotalRequests {
+		t.Fatalf("class totals %d != total %d", sum, rep.TotalRequests)
+	}
+	if !strings.Contains(stdout.String(), "loadgen") {
+		t.Fatalf("no human report on stdout:\n%s", stdout.String())
+	}
+}
+
+// TestLoadgenSurvivesSheddingServer pins retry/backoff: a server with
+// one heavy slot and a tiny queue sheds hard, yet the campaign stays
+// clean — every shed is retried or ends as a typed, counted answer.
+func TestLoadgenSurvivesSheddingServer(t *testing.T) {
+	addr := startService(t, func(c *service.Config) {
+		c.HeavySlots = 1
+		c.HeavyQueue = 1
+	})
+	var stdout, stderr bytes.Buffer
+	err := run([]string{
+		"-addr", addr,
+		"-duration", "700ms",
+		"-workers", "6",
+		"-app", "cg", "-procs", "4",
+		"-mix", "analyze=5,sign=3,predict=2",
+		"-seed", "5",
+	}, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run under shedding: %v\nstdout:\n%s", err, stdout.String())
+	}
+}
+
+// TestLoadgenFlagAndMixErrors pins the refusal paths.
+func TestLoadgenFlagAndMixErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no addr", []string{"-duration", "1s"}, "-addr is required"},
+		{"stray arg", []string{"-addr", "x:1", "stray"}, "unexpected argument"},
+		{"bad mix class", []string{"-addr", "x:1", "-mix", "frob=1"}, "mix class"},
+		{"bad mix weight", []string{"-addr", "x:1", "-mix", "sign=-2"}, "non-negative"},
+		{"empty mix", []string{"-addr", "x:1", "-mix", "sign=0"}, "selects nothing"},
+	} {
+		if err := run(tc.args, &out, &out); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("analyze=3, lookup=6,predict=2,sign=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix[opAnalyze] != 3 || mix[opLookup] != 6 || mix[opPredict] != 2 || mix[opSign] != 1 {
+		t.Fatalf("parseMix: %v", mix)
+	}
+	if _, err := parseMix("analyze=x"); err == nil {
+		t.Fatal("accepted non-integer weight")
+	}
+	if _, err := parseMix("analyze"); err == nil {
+		t.Fatal("accepted termless mix")
+	}
+}

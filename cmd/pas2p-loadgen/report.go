@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// ClassStats aggregates one request class.
+type ClassStats struct {
+	Requests int64            `json:"requests"`
+	OK       int64            `json:"ok"`
+	Retries  int64            `json:"retries"`
+	Errors   map[string]int64 `json:"errors,omitempty"` // typed code → count
+	Unclean  int64            `json:"unclean"`
+	P50MS    float64          `json:"p50_ms"`
+	P95MS    float64          `json:"p95_ms"`
+	P99MS    float64          `json:"p99_ms"`
+}
+
+// Report is the campaign summary the smoke job archives: latency
+// percentiles per class plus the error budget. Shed counts 429
+// queue_full and 503 shed/draining answers — expected under load; the
+// budget that must be zero is TotalUnclean.
+type Report struct {
+	Addr          string                 `json:"addr"`
+	App           string                 `json:"app"`
+	Procs         int                    `json:"procs"`
+	Workload      string                 `json:"workload"`
+	Workers       int                    `json:"workers"`
+	Seed          int64                  `json:"seed"`
+	DurationNS    int64                  `json:"duration_ns"`
+	Classes       map[string]*ClassStats `json:"classes"`
+	TotalRequests int64                  `json:"total_requests"`
+	TotalOK       int64                  `json:"total_ok"`
+	TotalRetries  int64                  `json:"total_retries"`
+	TotalShed     int64                  `json:"total_shed"`
+	TotalUnclean  int64                  `json:"total_unclean"`
+	UncleanDetail []string               `json:"unclean_detail,omitempty"`
+	Clean         bool                   `json:"clean"`
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func buildReport(opts options, results []result) *Report {
+	rep := &Report{
+		Addr: opts.addr, App: opts.app, Procs: opts.procs, Workload: opts.workload,
+		Workers: opts.workers, Seed: opts.seed, DurationNS: int64(opts.duration),
+		Classes: map[string]*ClassStats{},
+	}
+	lat := map[string][]float64{}
+	for _, r := range results {
+		cs := rep.Classes[r.class]
+		if cs == nil {
+			cs = &ClassStats{Errors: map[string]int64{}}
+			rep.Classes[r.class] = cs
+		}
+		cs.Requests++
+		cs.Retries += int64(r.retries)
+		rep.TotalRequests++
+		rep.TotalRetries += int64(r.retries)
+		switch {
+		case r.ok:
+			cs.OK++
+			rep.TotalOK++
+			lat[r.class] = append(lat[r.class], float64(r.latency)/1e6)
+		case r.unclean:
+			cs.Unclean++
+			rep.TotalUnclean++
+			if len(rep.UncleanDetail) < 32 {
+				rep.UncleanDetail = append(rep.UncleanDetail, r.detail)
+			}
+		default:
+			cs.Errors[r.code]++
+			switch r.code {
+			case "queue_full", "shed", "draining":
+				rep.TotalShed++
+			}
+		}
+	}
+	for class, ms := range lat {
+		sort.Float64s(ms)
+		cs := rep.Classes[class]
+		cs.P50MS = percentile(ms, 0.50)
+		cs.P95MS = percentile(ms, 0.95)
+		cs.P99MS = percentile(ms, 0.99)
+	}
+	rep.Clean = rep.TotalUnclean == 0
+	return rep
+}
+
+func writeReportJSON(w io.Writer, rep *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+func printReport(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "loadgen    : %d requests in %v (%d ok, %d shed+retried answers, %d retries, %d unclean)\n",
+		rep.TotalRequests, time.Duration(rep.DurationNS), rep.TotalOK, rep.TotalShed, rep.TotalRetries, rep.TotalUnclean)
+	classes := make([]string, 0, len(rep.Classes))
+	for c := range rep.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, c := range classes {
+		cs := rep.Classes[c]
+		fmt.Fprintf(w, "  %-8s %6d req %6d ok  p50 %8.2fms  p95 %8.2fms  p99 %8.2fms",
+			c, cs.Requests, cs.OK, cs.P50MS, cs.P95MS, cs.P99MS)
+		if len(cs.Errors) > 0 {
+			keys := make([]string, 0, len(cs.Errors))
+			for k := range cs.Errors {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			fmt.Fprintf(w, "  errors:")
+			for _, k := range keys {
+				fmt.Fprintf(w, " %s=%d", k, cs.Errors[k])
+			}
+		}
+		if cs.Unclean > 0 {
+			fmt.Fprintf(w, "  UNCLEAN=%d", cs.Unclean)
+		}
+		fmt.Fprintln(w)
+	}
+	for _, d := range rep.UncleanDetail {
+		fmt.Fprintf(w, "  unclean: %s\n", d)
+	}
+}

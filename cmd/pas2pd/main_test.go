@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+
+	"pas2p/internal/service"
+)
+
+// TestDaemonLifecycle drives the full daemon body: start, serve real
+// requests, receive a SIGTERM, drain gracefully, and flush the final
+// snapshot atomically.
+func TestDaemonLifecycle(t *testing.T) {
+	repo := t.TempDir()
+	snap := filepath.Join(t.TempDir(), "snapshot.json")
+	var stdout, stderr bytes.Buffer
+	stop := make(chan os.Signal, 1)
+	ready := make(chan *service.Server, 1)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-repo", repo,
+			"-snapshot", snap,
+			"-drain-timeout", "5s",
+		}, &stdout, &stderr, func(s *service.Server) { ready <- s }, stop)
+	}()
+	srv := <-ready
+
+	resp, err := http.Get(srv.URL() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ready" {
+		t.Fatalf("healthz = %q, want ready", h.Status)
+	}
+	// A served request (typed 404 — the repo is empty) so the final
+	// snapshot has traffic to report.
+	resp, err = http.Get(srv.URL() + "/v1/lookup?app=cg&procs=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("lookup on empty repo: %d, want 404", resp.StatusCode)
+	}
+
+	stop <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v (stderr %q)", err, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"serving on", "draining", "drained in", "final snapshot written"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stdout missing %q:\n%s", want, out)
+		}
+	}
+
+	b, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	var doc struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("snapshot is not JSON: %v", err)
+	}
+	if doc.Counters["service.requests"] != 1 {
+		t.Fatalf("snapshot counters = %v, want 1 service request", doc.Counters)
+	}
+}
+
+// TestDaemonFlagErrors pins the daemon's refusal paths: they must be
+// errors from run, not panics or silent defaults.
+func TestDaemonFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"no repo", []string{"-addr", "127.0.0.1:0"}, "-repo is required"},
+		{"stray arg", []string{"-repo", "x", "stray"}, "unexpected argument"},
+		{"bad fault spec", []string{"-repo", "x", "-faults", "nonsense=1"}, ""},
+		{"bad fs fault spec", []string{"-repo", "x", "-fsfaults", "zap=1"}, ""},
+	} {
+		err := run(tc.args, &out, &out, nil, nil)
+		if err == nil {
+			t.Errorf("%s: run accepted %v", tc.name, tc.args)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDaemonChaosFlagsWire checks that chaos mode actually threads the
+// injector and fault filesystem into the service (the startup banner
+// is the observable contract).
+func TestDaemonChaosFlagsWire(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	stop := make(chan os.Signal, 1)
+	ready := make(chan *service.Server, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-repo", t.TempDir(),
+			"-fault-seed", "7",
+			"-faults", "loss=0.05,dup=0.03,delay=0.10",
+			"-fsfaults", "torn=0.2,trunc=0.1,flip=0.1",
+		}, &stdout, &stderr, func(s *service.Server) { ready <- s }, stop)
+	}()
+	<-ready
+	stop <- syscall.SIGTERM
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "pipeline faults") || !strings.Contains(out, "storage faults") {
+		t.Fatalf("chaos banners missing:\n%s", out)
+	}
+}

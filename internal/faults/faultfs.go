@@ -295,3 +295,39 @@ func (f *FaultFS) corruptBytes(key, seq uint64, data []byte) ([]byte, string) {
 	f.mu.Unlock()
 	return data, strings.Join(kinds, "+")
 }
+
+// ParseFSConfig parses a CLI storage-fault specification into an
+// FSConfig (Seed unset): a comma-separated list of key=value terms,
+// e.g. torn=0.05,trunc=0.02,flip=0.01. Keys: torn, trunc, flip
+// (probabilities in [0,1]). An empty spec injects nothing.
+func ParseFSConfig(spec string) (FSConfig, error) {
+	var cfg FSConfig
+	if strings.TrimSpace(spec) == "" {
+		return cfg, nil
+	}
+	for _, term := range strings.Split(spec, ",") {
+		term = strings.TrimSpace(term)
+		if term == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(term, "=")
+		if !ok {
+			return cfg, fmt.Errorf("faults: term %q is not key=value", term)
+		}
+		var err error
+		switch k {
+		case "torn":
+			cfg.TornRate, err = parseRate(v)
+		case "trunc":
+			cfg.TruncRate, err = parseRate(v)
+		case "flip":
+			cfg.FlipRate, err = parseRate(v)
+		default:
+			return cfg, fmt.Errorf("faults: unknown key %q (torn, trunc, flip)", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("faults: term %q: %v", term, err)
+		}
+	}
+	return cfg, cfg.Validate()
+}

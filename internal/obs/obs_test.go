@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"math"
 	"strings"
 	"sync"
@@ -485,5 +486,83 @@ func TestSpanRecordsWallAndCounters(t *testing.T) {
 	want := []SpanCounter{{Name: "a", Value: 2}, {Name: "b", Value: 3}}
 	if len(rec.Counters) != 2 || rec.Counters[0] != want[0] || rec.Counters[1] != want[1] {
 		t.Errorf("counters = %v, want %v", rec.Counters, want)
+	}
+}
+
+// TestRegistryScrapeVsWriteRace pins the scrape path against live
+// publishes: goroutines register *new* metric families (the map-write
+// half of the race), bump existing ones, and record spans, while
+// scrapers continuously take snapshots and render both exposition
+// formats. Run under -race; the assertions check the scrape output is
+// internally consistent, not merely that nothing crashed.
+func TestRegistryScrapeVsWriteRace(t *testing.T) {
+	reg := NewRegistry()
+	o := &Observer{Registry: reg}
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Fresh families force registration during scrapes.
+				reg.Counter(fmt.Sprintf("race.w%d.c%d", w, i%17)).Inc()
+				reg.Gauge(fmt.Sprintf("race.w%d.g%d", w, i%13)).Set(float64(i))
+				reg.Histogram(fmt.Sprintf("race.w%d.h%d", w, i%7), []float64{1, 10, 100}).Observe(float64(i % 150))
+				sp := o.StartSpan("race.stage")
+				sp.End()
+			}
+		}(w)
+	}
+
+	var scrapers sync.WaitGroup
+	for s := 0; s < 3; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 40; i++ {
+				snap := reg.Snapshot()
+				var prom, js bytes.Buffer
+				if err := snap.WritePrometheus(&prom); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				if err := snap.WriteJSON(&js); err != nil {
+					t.Errorf("WriteJSON: %v", err)
+					return
+				}
+				// Internal consistency: every counter the snapshot holds
+				// must appear in the rendering with a sane value.
+				for name, v := range snap.Counters {
+					if v < 0 {
+						t.Errorf("counter %s went negative: %d", name, v)
+					}
+				}
+				if len(snap.Counters) > 0 && !strings.Contains(prom.String(), "# TYPE") {
+					t.Error("prometheus rendering lost its TYPE lines")
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writers.Wait()
+
+	// A final quiesced snapshot balances: every histogram's bucket sum
+	// equals its count.
+	snap := reg.Snapshot()
+	for name, h := range snap.Histograms {
+		var sum int64
+		for _, b := range h.Counts {
+			sum += b
+		}
+		if sum != h.Count {
+			t.Errorf("histogram %s buckets sum to %d, count %d", name, sum, h.Count)
+		}
 	}
 }

@@ -1,10 +1,10 @@
 // Package obshttp is the live telemetry surface over a running
 // pipeline's obs.Observer: a zero-dependency, embeddable HTTP server
 // exposing the metrics registry, span aggregates, flight recorder,
-// timeline and Go runtime profiling while the process works. It is
-// the observability layer the pas2pd daemon inherits — every endpoint
-// the service needs exists and is exercised here, against the CLI,
-// before the daemon is written.
+// timeline and Go runtime profiling while the process works. The
+// pas2pd daemon mounts the same handlers on its service mux
+// (Handlers.Mount), so a served pipeline and a CLI run expose one
+// telemetry dialect.
 //
 // Endpoints:
 //
@@ -16,7 +16,8 @@
 //	/timeline      Chrome trace-event JSON (Perfetto-loadable)
 //	/flight        the flight recorder's retained events
 //	/healthz       {"status":"ready"} while the run is live, "done"
-//	               after it completes
+//	               after it completes (a custom Health hook may add
+//	               states such as the daemon's "draining")
 //	/debug/pprof/  stdlib net/http/pprof profiles
 //
 // Everything is pull-based: a scrape snapshots the registry; between
@@ -37,48 +38,84 @@ import (
 	"pas2p/internal/obs"
 )
 
+// Handlers is the mountable form of the telemetry endpoints: anything
+// with an *http.ServeMux — the standalone Server below, or the pas2pd
+// service mux — registers the same scrape surface through it.
+type Handlers struct {
+	o     *obs.Observer
+	start time.Time
+
+	// Health reports the /healthz status string. The default reports
+	// "ready"; the Server wires its done flag in, and the pas2pd
+	// daemon reports ready/draining/done from its lifecycle.
+	Health func() string
+
+	scrapes *obs.Counter // serve.scrapes on the observed registry
+}
+
+// NewHandlers builds the telemetry handlers over an observer, which
+// must carry a registry (scrapes are counted on it under
+// serve.scrapes).
+func NewHandlers(o *obs.Observer) (*Handlers, error) {
+	if o.Reg() == nil {
+		return nil, fmt.Errorf("obshttp: observer has no registry")
+	}
+	return &Handlers{
+		o:       o,
+		start:   time.Now(),
+		Health:  func() string { return "ready" },
+		scrapes: o.Reg().Counter("serve.scrapes"),
+	}, nil
+}
+
+// Mount registers every telemetry endpoint on mux. The root index is
+// not registered — the embedding server owns "/".
+func (h *Handlers) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("/healthz", h.handleHealthz)
+	mux.HandleFunc("/metrics", h.handleMetrics)
+	mux.HandleFunc("/metrics.json", h.handleMetricsJSON)
+	mux.HandleFunc("/spans", h.handleSpans)
+	mux.HandleFunc("/timeline", h.handleTimeline)
+	mux.HandleFunc("/flight", h.handleFlight)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
 // Server serves one Observer's telemetry. Create with Serve; stop with
 // Shutdown.
 type Server struct {
-	o     *obs.Observer
-	ln    net.Listener
-	hs    *http.Server
-	start time.Time
-	done  atomic.Bool
-
-	scrapes *obs.Counter // serve.scrapes on the observed registry
+	o    *obs.Observer
+	h    *Handlers
+	ln   net.Listener
+	hs   *http.Server
+	done atomic.Bool
 }
 
 // Serve starts a telemetry server for o on addr (host:port; port 0
 // picks a free port — read the result from Addr). The observer must
 // have a registry; scrapes are counted on it under serve.scrapes.
 func Serve(addr string, o *obs.Observer) (*Server, error) {
-	if o.Reg() == nil {
-		return nil, fmt.Errorf("obshttp: observer has no registry")
+	h, err := NewHandlers(o)
+	if err != nil {
+		return nil, err
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obshttp: %w", err)
 	}
-	s := &Server{
-		o:       o,
-		ln:      ln,
-		start:   time.Now(),
-		scrapes: o.Reg().Counter("serve.scrapes"),
+	s := &Server{o: o, h: h, ln: ln}
+	h.Health = func() string {
+		if s.done.Load() {
+			return "done"
+		}
+		return "ready"
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
-	mux.HandleFunc("/spans", s.handleSpans)
-	mux.HandleFunc("/timeline", s.handleTimeline)
-	mux.HandleFunc("/flight", s.handleFlight)
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	h.Mount(mux)
 	s.hs = &http.Server{Handler: mux}
 	go s.hs.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
 	return s, nil
@@ -128,33 +165,29 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 `)
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	s.scrapes.Inc()
-	status := "ready"
-	if s.done.Load() {
-		status = "done"
-	}
+func (h *Handlers) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h.scrapes.Inc()
 	writeJSON(w, map[string]any{
-		"status":         status,
-		"uptime_seconds": time.Since(s.start).Seconds(),
+		"status":         h.Health(),
+		"uptime_seconds": time.Since(h.start).Seconds(),
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.scrapes.Inc()
-	obs.CollectRuntime(s.o.Reg())
+func (h *Handlers) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	h.scrapes.Inc()
+	obs.CollectRuntime(h.o.Reg())
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if err := s.o.Reg().Snapshot().WritePrometheus(w); err != nil {
+	if err := h.o.Reg().Snapshot().WritePrometheus(w); err != nil {
 		// Headers are gone; all we can do is drop the connection.
 		return
 	}
 }
 
-func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
-	s.scrapes.Inc()
-	obs.CollectRuntime(s.o.Reg())
+func (h *Handlers) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	h.scrapes.Inc()
+	obs.CollectRuntime(h.o.Reg())
 	w.Header().Set("Content-Type", "application/json")
-	s.o.Reg().Snapshot().WriteJSON(w) //nolint:errcheck // client gone
+	h.o.Reg().Snapshot().WriteJSON(w) //nolint:errcheck // client gone
 }
 
 // spansDoc is the /spans payload: the aggregates that bound registry
@@ -167,9 +200,9 @@ type spansDoc struct {
 	SpansDropped int64                            `json:"spans_dropped"`
 }
 
-func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
-	s.scrapes.Inc()
-	snap := s.o.Reg().Snapshot()
+func (h *Handlers) handleSpans(w http.ResponseWriter, r *http.Request) {
+	h.scrapes.Inc()
+	snap := h.o.Reg().Snapshot()
 	writeJSON(w, spansDoc{
 		TakenAt:      snap.TakenAt,
 		Stats:        snap.SpanStats,
@@ -179,18 +212,18 @@ func (s *Server) handleSpans(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
-	s.scrapes.Inc()
+func (h *Handlers) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	h.scrapes.Inc()
 	w.Header().Set("Content-Type", "application/json")
 	// A nil timeline writes an empty trace — scrapers need not care
 	// whether the run was started with timeline recording.
-	s.o.TL().WriteJSON(w) //nolint:errcheck // client gone
+	h.o.TL().WriteJSON(w) //nolint:errcheck // client gone
 }
 
-func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
-	s.scrapes.Inc()
+func (h *Handlers) handleFlight(w http.ResponseWriter, r *http.Request) {
+	h.scrapes.Inc()
 	w.Header().Set("Content-Type", "application/json")
-	s.o.FR().WriteJSON(w) //nolint:errcheck // client gone
+	h.o.FR().WriteJSON(w) //nolint:errcheck // client gone
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

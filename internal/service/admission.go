@@ -1,0 +1,132 @@
+package service
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"pas2p/internal/obs"
+)
+
+// admitter is per-class admission control: a fixed number of
+// execution slots plus a bounded wait queue. Requests beyond
+// slots+queue are rejected immediately (429 + Retry-After), and a
+// request is never dispatched into work it cannot finish: on winning
+// a slot the remaining deadline is compared against a live estimate
+// of the class's service time, and infeasible requests are shed (503)
+// before they burn a worker. That is what keeps one train of 20 s
+// analyses from collapsing the 1 ms lookup path — each class fails
+// fast in its own lane instead of queueing unboundedly.
+type admitter struct {
+	name  string
+	slots chan struct{}
+
+	queueBound int64        // max waiters beyond the slot holders
+	waiting    atomic.Int64 // current waiters (includes the one selecting)
+
+	// estNS is an EWMA of observed service times for this class — the
+	// cost model behind both feasibility shedding and Retry-After.
+	// Seeded from config so the first requests have a sane estimate.
+	estNS atomic.Int64
+
+	depth     *obs.Gauge   // service.<class>.queue_depth
+	shedFull  *obs.Counter // service.<class>.shed_queue_full
+	shedInfea *obs.Counter // service.<class>.shed_infeasible
+	admitted  *obs.Counter // service.<class>.admitted
+}
+
+func newAdmitter(name string, slots, queue int, seedEstimate time.Duration, reg *obs.Registry) *admitter {
+	if slots < 1 {
+		slots = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	a := &admitter{
+		name:       name,
+		slots:      make(chan struct{}, slots),
+		queueBound: int64(queue),
+		depth:      reg.Gauge("service." + name + ".queue_depth"),
+		shedFull:   reg.Counter("service." + name + ".shed_queue_full"),
+		shedInfea:  reg.Counter("service." + name + ".shed_infeasible"),
+		admitted:   reg.Counter("service." + name + ".admitted"),
+	}
+	for i := 0; i < slots; i++ {
+		a.slots <- struct{}{}
+	}
+	a.estNS.Store(seedEstimate.Nanoseconds())
+	return a
+}
+
+// estimate returns the current EWMA service-time estimate.
+func (a *admitter) estimate() time.Duration { return time.Duration(a.estNS.Load()) }
+
+// observe folds one completed request's service time into the EWMA
+// (alpha 1/8: stable against a single outlier, adapts within ~10
+// requests to a shifted workload mix).
+func (a *admitter) observe(d time.Duration) {
+	for {
+		old := a.estNS.Load()
+		next := old + (d.Nanoseconds()-old)/8
+		if a.estNS.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfter guesses when a slot will plausibly be free: the backlog
+// ahead of a new arrival, paced by the service-time estimate, floored
+// at one second (the Retry-After granularity).
+func (a *admitter) retryAfter() time.Duration {
+	backlog := a.waiting.Load() + 1
+	est := a.estimate()
+	ra := time.Duration(backlog) * est / time.Duration(cap(a.slots))
+	if ra < time.Second {
+		ra = time.Second
+	}
+	if ra > 30*time.Second {
+		ra = 30 * time.Second
+	}
+	return ra
+}
+
+// admit blocks until the request may start work, and returns the
+// release function to defer. A typed error means the request was
+// refused without any work being started: queue overflow, a deadline
+// that expired while queued, or a remaining deadline too short for
+// the class's estimated service time ("never deadline-blown work").
+func (a *admitter) admit(ctx context.Context) (release func(), apiErr *APIError) {
+	// Queue bound: waiting counts everyone between "arrived" and
+	// "holds a slot", so the bound caps queued memory and queued wait.
+	if w := a.waiting.Add(1); w > int64(cap(a.slots))+a.queueBound {
+		a.waiting.Add(-1)
+		a.shedFull.Inc()
+		return nil, errQueueFull(a.name, a.retryAfter())
+	}
+	a.depth.Set(float64(a.waiting.Load()))
+	defer func() {
+		a.waiting.Add(-1)
+		a.depth.Set(float64(a.waiting.Load()))
+	}()
+
+	select {
+	case <-a.slots:
+		// Feasibility gate: starting work that cannot finish inside
+		// its deadline only blows the deadline *and* a slot. Shed it
+		// now, honestly, while retrying is still cheap for the client.
+		if dl, ok := ctx.Deadline(); ok {
+			if remaining := time.Until(dl); remaining < a.estimate() {
+				a.slots <- struct{}{}
+				a.shedInfea.Inc()
+				return nil, errShed("remaining deadline shorter than estimated service time", a.retryAfter())
+			}
+		}
+		a.admitted.Inc()
+		return func() { a.slots <- struct{}{} }, nil
+	case <-ctx.Done():
+		// Deadline or cancellation spent entirely in the queue: no
+		// work was started, so this is a shed, not a timeout.
+		a.shedInfea.Inc()
+		return nil, errShed("deadline expired while queued", a.retryAfter())
+	}
+}

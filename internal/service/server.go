@@ -1,0 +1,60 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"pas2p/internal/obs"
+)
+
+// Server binds a Service to a TCP listener. Create with Listen; stop
+// with DrainAndShutdown.
+type Server struct {
+	svc *Service
+	ln  net.Listener
+	hs  *http.Server
+}
+
+// Listen starts serving svc on addr (host:port; port 0 picks a free
+// port — read the result from Addr).
+func Listen(addr string, svc *Service) (*Server, error) {
+	h, err := svc.Handler()
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	s := &Server{svc: svc, ln: ln, hs: &http.Server{Handler: h}}
+	go s.hs.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Shutdown
+	return s, nil
+}
+
+// Addr returns the actual listen address (resolves port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Service returns the served service.
+func (s *Server) Service() *Service { return s.svc }
+
+// DrainAndShutdown performs the daemon's graceful exit: the service
+// drains (new requests get a typed 503, in-flight requests finish or
+// are shed when ctx expires), the HTTP server closes its listener and
+// idle connections, and the final obs snapshot is flushed. The
+// returned snapshot is valid even when the HTTP shutdown errs.
+func (s *Server) DrainAndShutdown(ctx context.Context) (DrainReport, *obs.Snapshot, error) {
+	rep := s.svc.Drain(ctx)
+	// The drain already emptied the request path; give connection
+	// teardown its own short budget so an expired drain ctx does not
+	// leave sockets dangling.
+	hctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	err := s.hs.Shutdown(hctx)
+	return rep, s.svc.FinalSnapshot(), err
+}

@@ -9,13 +9,24 @@ import (
 
 // acquireLock serializes repository writers through a lock file
 // created with O_CREATE|O_EXCL. A competing writer retries with
-// backoff for lockWait; a lock file older than staleLockAge is
-// presumed abandoned by a crashed writer and taken over. The returned
-// release func removes the lock.
+// jittered exponential backoff for lockWait — jitter breaks the
+// retry lockstep of writers that collided on the same attempt, which
+// a fixed interval would repeat on every round — and publishes the
+// total time spent waiting under repo.lock_wait_ns. A lock file older
+// than staleLockAge is presumed abandoned by a crashed writer and
+// taken over. The returned release func removes the lock.
 func (r *Repo) acquireLock() (func(), error) {
 	path := filepath.Join(r.dir, lockName)
-	deadline := time.Now().Add(r.lockWait)
+	start := time.Now()
+	deadline := start.Add(r.lockWait)
 	backoff := r.retryBackoff
+	// The wait counter covers every exit path: contended acquisitions
+	// show up in the metric whether they eventually won or timed out.
+	defer func() {
+		if waited := time.Since(start); waited > time.Millisecond {
+			r.bump("repo.lock_wait_ns", waited.Nanoseconds())
+		}
+	}()
 	for {
 		f, err := r.fs.CreateExclusive(path)
 		if err == nil {
@@ -41,7 +52,7 @@ func (r *Repo) acquireLock() (func(), error) {
 			return nil, fmt.Errorf("sigrepo: repository %s is locked (lock file %s; stale after %v)",
 				r.dir, path, r.staleLockAge)
 		}
-		time.Sleep(backoff)
+		time.Sleep(jittered(backoff))
 		if backoff < 100*time.Millisecond {
 			backoff *= 2
 		}

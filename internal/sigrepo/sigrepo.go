@@ -26,7 +26,9 @@
 package sigrepo
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -37,6 +39,17 @@ import (
 	"pas2p/internal/mpi"
 	"pas2p/internal/obs"
 	"pas2p/internal/signature"
+)
+
+// Sentinel errors callers branch on (errors.Is). The service layer
+// maps ErrNotFound to 404 and ErrCorrupt to a retryable 503: a
+// corrupt entry heals after Fsck quarantines it and the signature is
+// re-added, so "try again later" is the truthful answer.
+var (
+	// ErrNotFound marks a lookup of an identity with no stored entry.
+	ErrNotFound = errors.New("signature not found")
+	// ErrCorrupt marks an entry that exists but fails verification.
+	ErrCorrupt = errors.New("signature corrupt")
 )
 
 const (
@@ -117,8 +130,21 @@ func (r *Repo) event(kind, msg string) {
 	r.obs.Event(kind, msg, -1, 0)
 }
 
-// withRetry runs op, retrying transient failures with exponential
-// backoff up to the configured attempt bound.
+// jittered spreads a backoff interval over [d/2, d): equal jitter, so
+// writers that collided once (lock contention, shared transient
+// fault) do not retry in lockstep and collide again. The randomness
+// is operational only — it moves wall-clock sleep times, never any
+// fault decision or stored byte.
+func jittered(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(half)))
+}
+
+// withRetry runs op, retrying transient failures with jittered
+// exponential backoff up to the configured attempt bound.
 func (r *Repo) withRetry(op func() error) error {
 	var err error
 	backoff := r.retryBackoff
@@ -131,7 +157,7 @@ func (r *Repo) withRetry(op func() error) error {
 		}
 		r.bump("repo.retries", 1)
 		r.event("repo.retry", fmt.Sprintf("transient write error, retrying: %v", err))
-		time.Sleep(backoff)
+		time.Sleep(jittered(backoff))
 		backoff *= 2
 	}
 }
@@ -341,14 +367,14 @@ func (r *Repo) List() ([]Entry, []Problem, error) {
 func (r *Repo) Lookup(appName string, procs int, workload string) (*Entry, error) {
 	name := key(appName, procs, workload)
 	if _, err := r.fs.Stat(filepath.Join(r.dir, name)); err != nil {
-		return nil, fmt.Errorf("sigrepo: no signature for %s/p%d/%q: %w", appName, procs, workload, err)
+		return nil, fmt.Errorf("sigrepo: no signature for %s/p%d/%q (%v): %w", appName, procs, workload, err, ErrNotFound)
 	}
 	m, _ := r.loadManifestChecked()
 	e, p := r.verifyEntry(name, m)
 	if e == nil {
 		r.bump("repo.corrupt", 1)
-		return nil, fmt.Errorf("sigrepo: signature for %s/p%d/%q is corrupt (%v); run fsck to quarantine it",
-			appName, procs, workload, p.Err)
+		return nil, fmt.Errorf("sigrepo: signature for %s/p%d/%q is corrupt (%v); run fsck to quarantine it: %w",
+			appName, procs, workload, p.Err, ErrCorrupt)
 	}
 	r.bump("repo.verified", 1)
 	return e, nil

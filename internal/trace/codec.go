@@ -66,6 +66,28 @@ const maxEventCount = 1 << 36
 // cannot force a huge up-front allocation.
 const eventChunk = 1 << 16
 
+// FileCRC extracts the whole-file CRC32-C a v2 tracefile declares in
+// its trailer without reading the body. It is the stable identity of
+// an encoded tracefile (every preceding byte feeds it), which the
+// signature service uses as its cache and dedup key. The second
+// return is false when data is not a plausible v2 tracefile (wrong
+// magic, missing trailer); the CRC itself is NOT verified here —
+// only a full Decode or VerifyStream proves the bytes match it.
+func FileCRC(data []byte) (uint32, bool) {
+	// magic + trailer magic + fileCRC is the absolute minimum length.
+	if len(data) < len(magicV2)+len(trailer)+4 {
+		return 0, false
+	}
+	if string(data[:len(magicV2)]) != string(magicV2[:]) {
+		return 0, false
+	}
+	tm := data[len(data)-12 : len(data)-4]
+	if string(tm) != string(trailer[:]) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(data[len(data)-4:]), true
+}
+
 // EncodedSize returns the exact tracefile size in bytes for a trace
 // in the current (v2) format.
 func EncodedSize(t *Trace) int64 {

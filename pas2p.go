@@ -26,6 +26,7 @@
 package pas2p
 
 import (
+	"context"
 	"io"
 	"runtime"
 	"sync"
@@ -249,6 +250,20 @@ func ExtractPhases(l *Logical, cfg PhaseConfig) (*PhaseAnalysis, error) {
 // selects which occurrence of each phase the signature will
 // checkpoint (1 = the second, leaving one occurrence to warm up).
 func Analyze(tr *Trace, cfg PhaseConfig, warmOccurrence int) (*PhaseAnalysis, *PhaseTable, error) {
+	return AnalyzeCtx(context.Background(), tr, cfg, warmOccurrence)
+}
+
+// AnalyzeCtx is Analyze with cancellation: the context is checked at
+// every stage boundary (before ordering, extraction and table
+// construction), so a served request whose deadline expires — or a
+// draining server shedding in-flight work — abandons the pipeline at
+// the next boundary instead of completing a result nobody will read.
+// A cancelled analysis returns ctx.Err() and nil outputs; it never
+// returns a partial analysis.
+func AnalyzeCtx(ctx context.Context, tr *Trace, cfg PhaseConfig, warmOccurrence int) (*PhaseAnalysis, *PhaseTable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	sp := cfg.Observer.StartSpan("analyze.order")
 	l, err := logical.Order(tr)
 	if err != nil {
@@ -258,9 +273,15 @@ func Analyze(tr *Trace, cfg PhaseConfig, warmOccurrence int) (*PhaseAnalysis, *P
 	sp.SetCounter("events", int64(len(tr.Events)))
 	sp.SetCounter("ticks", int64(l.NumTicks()))
 	sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	// phase.Extract records its own "phase.extract" span via cfg.Observer.
 	an, err := phase.Extract(l, cfg)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
 	sp = cfg.Observer.StartSpan("analyze.table")
@@ -284,6 +305,14 @@ func Analyze(tr *Trace, cfg PhaseConfig, warmOccurrence int) (*PhaseAnalysis, *P
 // Analyze in a loop. On failure the returned error is the one from the
 // lowest-indexed failing trace, and both slices are nil.
 func AnalyzeAll(traces []*Trace, cfg PhaseConfig, warmOccurrence int, workers int) ([]*PhaseAnalysis, []*PhaseTable, error) {
+	return AnalyzeAllCtx(context.Background(), traces, cfg, warmOccurrence, workers)
+}
+
+// AnalyzeAllCtx is AnalyzeAll with cancellation: each worker checks
+// the context before claiming the next trace and AnalyzeCtx checks it
+// at every stage boundary, so cancelling stops the batch at the next
+// boundary. A cancelled batch returns ctx.Err() and nil slices.
+func AnalyzeAllCtx(ctx context.Context, traces []*Trace, cfg PhaseConfig, warmOccurrence int, workers int) ([]*PhaseAnalysis, []*PhaseTable, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -305,14 +334,17 @@ func AnalyzeAll(traces []*Trace, cfg PhaseConfig, warmOccurrence int, workers in
 			defer wg.Done()
 			for {
 				i := int(next.Add(1) - 1)
-				if i >= len(traces) {
+				if i >= len(traces) || ctx.Err() != nil {
 					return
 				}
-				ans[i], tbs[i], errs[i] = Analyze(traces[i], cfg, warmOccurrence)
+				ans[i], tbs[i], errs[i] = AnalyzeCtx(ctx, traces[i], cfg, warmOccurrence)
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
