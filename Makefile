@@ -13,7 +13,7 @@ GO ?= go
 # serving proof.
 RACE_PKGS = ./internal/phase/... ./internal/logical/... ./internal/obs/... ./internal/faults/... ./internal/sigrepo/... ./internal/fsx/... ./internal/trace/... ./internal/sim/... ./internal/scenario/... ./internal/service/... ./cmd/pas2pd/... ./cmd/pas2p-loadgen/...
 
-.PHONY: build test race bench bench-json bench-baseline check cover fuzz scenarios
+.PHONY: build test race bench bench-json bench-baseline soak-100m check cover fuzz scenarios
 
 build:
 	$(GO) build ./...
@@ -30,11 +30,19 @@ bench:
 	$(GO) test ./internal/phase -run xxx -bench ExtractApps -benchtime 5x -count 3
 
 # Machine-readable benchmark document: pipeline rows (table 8/9), the
-# block-codec worker sweep, and the observer-overhead comparison
-# (instrumented vs nil-observer pipeline). BENCH_PR7.json is the
-# committed copy.
+# block-codec worker sweep, the observer-overhead comparison
+# (instrumented vs nil-observer pipeline), and the out-of-core
+# streaming scale point. BENCH_PR10.json is the committed copy (its
+# 100M-event stream row comes from the soak test, not this target).
 bench-json:
-	$(GO) run ./cmd/pas2p-bench -table 8 -json BENCH_PR7.json
+	$(GO) run ./cmd/pas2p-bench -table 8 -json BENCH_PR10.json
+
+# Out-of-core soak at full scale: 100M synthetic events streamed under
+# a memory budget, peak heap asserted < 10% of the in-core event
+# footprint. Writes the machine-readable scale point to soak100m.json.
+soak-100m:
+	PAS2P_SOAK_EVENTS=100000000 PAS2P_SOAK_JSON=soak100m.json \
+		$(GO) test . -run TestStreamSoakBoundedMemory -count=1 -v -timeout 1800s
 
 # Refresh the benchstat baseline CI compares against. Run on a quiet
 # machine; commit bench/baseline.txt with the change that moves it.

@@ -127,6 +127,14 @@ func runCodecBench(events int, workerCounts []int) ([]codecResult, error) {
 				}
 			}
 		}))
+		out = append(out, cell("decompress", w, int64(comp.Len()), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.DecompressWith(bytes.NewReader(comp.Bytes()), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
 	}
 	// The streaming verification pass is sequential by nature; one cell.
 	out = append(out, cell("verify_stream", 1, int64(len(encoded)), func(b *testing.B) {

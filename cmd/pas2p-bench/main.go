@@ -33,6 +33,7 @@ func main() {
 	par := flag.Bool("parallel", false, "fan phase extraction out over the CPUs")
 	jsonOut := flag.String("json", "", "write the table 8/9 rows plus the block-codec sweep as machine-readable benchmark JSON")
 	codecEvents := flag.Int("codec-events", 1_000_000, "event count for the codec sweep recorded in -json output")
+	streamEvents := flag.Int64("stream-events", 1_000_000, "event count for the out-of-core streaming scale point in -json output (0 disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit")
 	serve := flag.String("serve", "", "serve live telemetry while the tables regenerate, e.g. 127.0.0.1:9090 (port 0 picks one)")
@@ -131,7 +132,19 @@ func main() {
 					return err
 				}
 				printObsBench(obsRes)
-				if err := writeBenchJSON(*jsonOut, rows, codec, obsRes); err != nil {
+				var stream []streamResult
+				if *streamEvents > 0 {
+					fmt.Fprintf(w, "running out-of-core streaming scale point (%d events)...\n", *streamEvents)
+					sr, err := runStreamBench(*streamEvents)
+					if err != nil {
+						return err
+					}
+					fmt.Fprintf(w, "  streamed %d events in %v (%.0f events/s), peak heap %d MiB\n",
+						sr.Events, time.Duration(sr.ElapsedNS).Round(time.Millisecond),
+						sr.EventsPerSec, sr.PeakHeapBytes>>20)
+					stream = append(stream, sr)
+				}
+				if err := writeBenchJSON(*jsonOut, rows, codec, obsRes, stream); err != nil {
 					return err
 				}
 				fmt.Fprintf(w, "benchmark rows written to %s\n", *jsonOut)
@@ -184,12 +197,13 @@ type benchDoc struct {
 		CPUs       int    `json:"cpus"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
 	} `json:"host"`
-	Pipeline []benchRow    `json:"pipeline"`
-	Codec    []codecResult `json:"codec"`
-	Obs      obsResult     `json:"obs_overhead"`
+	Pipeline []benchRow     `json:"pipeline"`
+	Codec    []codecResult  `json:"codec"`
+	Obs      obsResult      `json:"obs_overhead"`
+	Stream   []streamResult `json:"stream,omitempty"`
 }
 
-func writeBenchJSON(path string, rows []report.PerfRow, codec []codecResult, obsRes obsResult) error {
+func writeBenchJSON(path string, rows []report.PerfRow, codec []codecResult, obsRes obsResult, stream []streamResult) error {
 	var doc benchDoc
 	doc.Host.GoVersion = runtime.Version()
 	doc.Host.GOOS = runtime.GOOS
@@ -198,6 +212,7 @@ func writeBenchJSON(path string, rows []report.PerfRow, codec []codecResult, obs
 	doc.Host.GOMAXPROCS = runtime.GOMAXPROCS(0)
 	doc.Codec = codec
 	doc.Obs = obsRes
+	doc.Stream = stream
 	doc.Pipeline = make([]benchRow, 0, len(rows))
 	for _, r := range rows {
 		doc.Pipeline = append(doc.Pipeline, benchRow{

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"os"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pas2p"
+	"pas2p/internal/workload"
+)
+
+// streamResult is one scale point of the out-of-core pipeline: a
+// synthetic trace of the given event count streamed through
+// AnalyzeStream under a memory budget, with the observed peak heap
+// next to the in-core event footprint it avoided. The soak test
+// (TestStreamSoakBoundedMemory) asserts the bound; this cell records
+// the measured numbers for the bench artifact.
+type streamResult struct {
+	Events        int64   `json:"events"`
+	TraceBytes    int64   `json:"trace_bytes"`
+	ElapsedNS     int64   `json:"elapsed_ns"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+	Ticks         int     `json:"ticks"`
+	Phases        int     `json:"phases"`
+	SpilledPhases int     `json:"spilled_phases"`
+}
+
+// runStreamBench synthesises a ring+allreduce trace of about the given
+// event count in a temp file and measures one streamed analysis.
+func runStreamBench(events int64) (streamResult, error) {
+	dir, err := os.MkdirTemp("", "pas2p-bench-stream-*")
+	if err != nil {
+		return streamResult{}, err
+	}
+	defer os.RemoveAll(dir)
+	path := dir + "/stream.pas2p"
+	f, err := os.Create(path)
+	if err != nil {
+		return streamResult{}, err
+	}
+	spec := workload.SynthSpec{Procs: 16, TargetEvents: events, Seed: 1}
+	meta, err := workload.Synthesize(f, spec)
+	if err != nil {
+		f.Close()
+		return streamResult{}, err
+	}
+	if err := f.Close(); err != nil {
+		return streamResult{}, err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return streamResult{}, err
+	}
+
+	in, err := os.Open(path)
+	if err != nil {
+		return streamResult{}, err
+	}
+	defer in.Close()
+	br, err := pas2p.NewTraceBlockReader(in)
+	if err != nil {
+		return streamResult{}, err
+	}
+	defer br.Close()
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var ms runtime.MemStats
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak.Load() {
+				peak.Store(ms.HeapAlloc)
+			}
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	runtime.GC()
+	start := time.Now()
+	res, err := pas2p.AnalyzeStream(context.Background(), br, pas2p.DefaultPhaseConfig(), 1,
+		pas2p.AnalyzeStreamOptions{MemBudgetBytes: 32 << 20, SpillDir: dir})
+	elapsed := time.Since(start)
+	close(stop)
+	<-done
+	if err != nil {
+		return streamResult{}, err
+	}
+	defer res.Close()
+
+	return streamResult{
+		Events:        int64(meta.Events),
+		TraceBytes:    st.Size(),
+		ElapsedNS:     elapsed.Nanoseconds(),
+		EventsPerSec:  float64(meta.Events) / elapsed.Seconds(),
+		PeakHeapBytes: peak.Load(),
+		Ticks:         res.Stats.Ticks,
+		Phases:        res.Table.TotalPhases,
+		SpilledPhases: res.Stats.SpilledPhases,
+	}, nil
+}

@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"pas2p/internal/apps"
@@ -155,11 +157,22 @@ func cmdAnalyze(args []string) error {
 	faultSpec := fs.String("faults", "", "perturb the trace's clocks before analysis, e.g. skew=5ms,drift=0.001")
 	seed := fs.Int64("seed", 1, "fault-injection seed (with -faults)")
 	serve := fs.String("serve", "", "serve live telemetry on this address while analyzing, e.g. 127.0.0.1:9090 (port 0 picks one)")
+	stream := fs.Bool("stream", false, "analyze out-of-core: stream the tracefile without decoding it into memory (v2 binary tracefiles only)")
+	memBudget := fs.String("mem-budget", "256MiB", "with -stream: resident-memory budget for phase matrices, e.g. 64MiB, 1GiB (0 = unlimited)")
 	if err := parseArgs(fs, args); err != nil {
 		return err
 	}
 	if *in == "" {
 		return fmt.Errorf("analyze: -trace is required")
+	}
+	if *stream {
+		for name, set := range map[string]bool{
+			"-explain": *explain, "-faults": *faultSpec != "", "-timeline": *timelineOut != "",
+		} {
+			if set {
+				return fmt.Errorf("analyze: %s needs the in-core trace and is incompatible with -stream", name)
+			}
+		}
 	}
 	inj, err := faults.ParseSpec(*seed, *faultSpec)
 	if err != nil {
@@ -178,11 +191,34 @@ func cmdAnalyze(args []string) error {
 		return err
 	}
 	defer stopServe()
+	cfg := phase.DefaultConfig()
+	cfg.EventSimilarity = *eventSim
+	cfg.ComputeSimilarity = *compSim
+	cfg.RelevanceFraction = *relevance
+	cfg.ExtractParallel = *par
+	cfg.Observer = o
 	f, err := os.Open(*in)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if *stream {
+		if err := analyzeStreamFile(f, *out, *warm, *memBudget, cfg); err != nil {
+			return err
+		}
+		if o != nil {
+			if err := writeSnapshot(o.Registry.Snapshot(), *metricsOut, *promOut); err != nil {
+				return err
+			}
+			if *metricsOut != "" {
+				fmt.Printf("metrics written to %s\n", *metricsOut)
+			}
+			if *promOut != "" {
+				fmt.Printf("prometheus metrics written to %s\n", *promOut)
+			}
+		}
+		return nil
+	}
 	tr, err := trace.DecodeAnyWith(f, trace.CodecOptions{Reg: o.Reg()})
 	if err != nil {
 		return err
@@ -211,12 +247,6 @@ func cmdAnalyze(args []string) error {
 	sp.SetCounter("events", int64(len(tr.Events)))
 	sp.SetCounter("ticks", int64(l.NumTicks()))
 	sp.End()
-	cfg := phase.DefaultConfig()
-	cfg.EventSimilarity = *eventSim
-	cfg.ComputeSimilarity = *compSim
-	cfg.RelevanceFraction = *relevance
-	cfg.ExtractParallel = *par
-	cfg.Observer = o
 	var logf func(string, ...any)
 	if *explain {
 		logf = func(format string, args ...any) {
@@ -277,6 +307,93 @@ func cmdAnalyze(args []string) error {
 		}
 	}
 	return nil
+}
+
+// analyzeStreamFile runs the out-of-core pipeline over an open v2
+// tracefile: rank streams, streaming logical order, incremental phase
+// extraction with a spill budget. Memory stays bounded regardless of
+// trace size.
+func analyzeStreamFile(f *os.File, outPath string, warm int, budgetStr string, cfg phase.Config) error {
+	budget, err := parseBytes(budgetStr)
+	if err != nil {
+		return fmt.Errorf("analyze: -mem-budget: %w", err)
+	}
+	br, err := trace.NewBlockReader(f)
+	if err != nil {
+		return err
+	}
+	rs, err := br.RankStreams()
+	if err != nil {
+		return err
+	}
+	tick, err := logical.StreamOrder(rs)
+	if err != nil {
+		return err
+	}
+	var spillDir string
+	if budget > 0 {
+		spillDir, err = os.MkdirTemp("", "pas2p-spill-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(spillDir)
+	}
+	res, err := phase.ExtractStreamTable(context.Background(), tick, tick.Meta(), warm,
+		phase.StreamConfig{Config: cfg, MemBudgetBytes: budget, SpillDir: spillDir})
+	if err != nil {
+		return err
+	}
+	defer res.Close()
+	meta := rs.Meta()
+	fmt.Printf("application: %s, %d processes, %d events, %d ticks (streamed)\n",
+		meta.AppName, meta.Procs, meta.Events, res.Stats.Ticks)
+	fmt.Println(res.Analysis.Summary())
+	if budget > 0 {
+		fmt.Printf("out-of-core: budget %s, %d phase matrices spilled (%d bytes), %d reloads\n",
+			budgetStr, res.Stats.SpilledPhases, res.Stats.SpillBytes, res.Stats.SpillLoads)
+	}
+	res.Table.Print(os.Stdout)
+	if outPath != "" {
+		g, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer g.Close()
+		enc := json.NewEncoder(g)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(res.Table); err != nil {
+			return err
+		}
+		fmt.Printf("phase table written to %s\n", outPath)
+	}
+	return nil
+}
+
+// parseBytes parses a human byte size: plain bytes, or a decimal with
+// a KiB/MiB/GiB (binary) or KB/MB/GB (decimal) suffix.
+func parseBytes(s string) (int64, error) {
+	orig := s
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	for _, u := range []struct {
+		suf string
+		m   int64
+	}{
+		{"KiB", 1 << 10}, {"MiB", 1 << 20}, {"GiB", 1 << 30},
+		{"KB", 1e3}, {"MB", 1e6}, {"GB", 1e9},
+		{"K", 1 << 10}, {"M", 1 << 20}, {"G", 1 << 30}, {"B", 1},
+	} {
+		if strings.HasSuffix(s, u.suf) {
+			mult = u.m
+			s = strings.TrimSpace(strings.TrimSuffix(s, u.suf))
+			break
+		}
+	}
+	n, err := strconv.ParseFloat(s, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("invalid byte size %q", orig)
+	}
+	return int64(n * float64(mult)), nil
 }
 
 func cmdAET(args []string) error {

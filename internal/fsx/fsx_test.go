@@ -80,3 +80,58 @@ func TestWriteFileAtomicCreateError(t *testing.T) {
 		t.Fatal("expected error")
 	}
 }
+
+// TestOSSeamOperations exercises every FS method of the real-OS
+// implementation against a temp directory — the streaming spill store
+// reads its CRC-checked cell files back through exactly this seam.
+func TestOSSeamOperations(t *testing.T) {
+	fs := OS{}
+	root := t.TempDir()
+	sub := filepath.Join(root, "a", "b")
+	if err := fs.MkdirAll(sub, 0o755); err != nil {
+		t.Fatalf("MkdirAll: %v", err)
+	}
+	name := filepath.Join(sub, "cell.bin")
+	f, err := fs.CreateExclusive(name)
+	if err != nil {
+		t.Fatalf("CreateExclusive: %v", err)
+	}
+	if _, err := f.Write([]byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.CreateExclusive(name); err == nil {
+		t.Fatal("CreateExclusive succeeded on an existing file")
+	}
+	got, err := fs.ReadFile(name)
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	r, err := fs.Open(name)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	streamed, err := io.ReadAll(r)
+	if err != nil || string(streamed) != "payload" {
+		t.Fatalf("streamed read = %q, %v", streamed, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fs.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "cell.bin" {
+		t.Fatalf("ReadDir = %v, %v", ents, err)
+	}
+	st, err := fs.Stat(name)
+	if err != nil || st.Size() != int64(len("payload")) {
+		t.Fatalf("Stat = %v, %v", st, err)
+	}
+	if _, err := fs.Stat(filepath.Join(sub, "nope")); err == nil {
+		t.Fatal("Stat of a missing file succeeded")
+	}
+}

@@ -28,6 +28,12 @@ type matcher struct {
 	idx     *phaseIndex
 	workers int
 	scratch []indexEntry
+	// cellsOf, when set, resolves a candidate phase's behaviour matrix.
+	// The out-of-core extraction keeps cold matrices in a spill store and
+	// leaves Phase.Cells nil until the analysis is materialised, so every
+	// scoring site routes through it. Must be safe for concurrent calls
+	// (matchParallel workers score candidates concurrently).
+	cellsOf func(*Phase) [][]Cell
 	// cache holds, per tick length, the previous window and its
 	// resolution.
 	cache map[int]*bucketCache
@@ -67,6 +73,16 @@ func newMatcher(cfg Config) *matcher {
 	m := &matcher{cfg: cfg, idx: newPhaseIndex(), workers: w, cache: make(map[int]*bucketCache)}
 	m.winTab.init(512)
 	return m
+}
+
+// phaseCells resolves a phase's behaviour matrix for scoring: directly
+// in-core, or through the spill store when the out-of-core extraction
+// owns the matrices.
+func (m *matcher) phaseCells(p *Phase) [][]Cell {
+	if m.cellsOf != nil {
+		return m.cellsOf(p)
+	}
+	return p.Cells
 }
 
 // profileWindow rebuilds the scratch profile from a freshly
@@ -150,7 +166,7 @@ func (m *matcher) match(cells [][]Cell, events int) *Phase {
 	if len(cands) <= directScoreBucket {
 		for _, c := range cands {
 			m.nScored++
-			if similarCells(c.phase.Cells, cells, c.phase.Events, events, m.cfg) {
+			if similarCells(m.phaseCells(c.phase), cells, c.phase.Events, events, m.cfg) {
 				return c.phase
 			}
 		}
@@ -171,7 +187,7 @@ func (m *matcher) match(cells [][]Cell, events int) *Phase {
 	if !m.cfg.ExtractParallel || m.workers == 1 || len(live) < parallelMinCandidates {
 		for _, c := range live {
 			m.nScored++
-			if similarCells(c.phase.Cells, cells, c.phase.Events, events, m.cfg) {
+			if similarCells(m.phaseCells(c.phase), cells, c.phase.Events, events, m.cfg) {
 				return c.phase
 			}
 		}
@@ -205,7 +221,7 @@ func (m *matcher) matchParallel(live []indexEntry, cells [][]Cell, events int) *
 				}
 				c := live[i]
 				scored.Add(1)
-				if similarCells(c.phase.Cells, cells, c.phase.Events, events, m.cfg) {
+				if similarCells(m.phaseCells(c.phase), cells, c.phase.Events, events, m.cfg) {
 					for {
 						b := best.Load()
 						if i >= b || best.CompareAndSwap(b, i) {

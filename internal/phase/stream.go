@@ -1,0 +1,784 @@
+// Out-of-core phase extraction: the §3.3 scan over a stream of
+// logically-ordered ticks instead of a materialised Logical.
+//
+// The in-core runIndexed scan buffers the whole behaviour matrix and
+// decides windows against it. The streaming extractor keeps only the
+// rows of the *open* window — the span since the last startpoint —
+// because every decision the scan makes is local to it: the repeat
+// detector is the same epoch-cleared first-occurrence table (reset at
+// every startpoint), occurrence durations come from a running
+// completion-cut high-water mark, and the phase-table boundary counts
+// come from per-process event counters snapshotted at window edges.
+// Closed windows fold through the identical matcher (equality cache,
+// fingerprint index, counting bound, early-exit scoring), so phase
+// sets, occurrence lists and tables are bit-identical to Extract +
+// BuildTable.
+//
+// Representative behaviour matrices are the one per-phase state whose
+// total size is not O(window). Under a memory budget they live in a
+// spill store: an LRU-resident set backed by one CRC-checked file per
+// phase (written through the internal/fsx seam), loaded back on demand
+// when the matcher scores a candidate. Spilling changes *where* a
+// matrix is read from, never its content, so the budget only affects
+// speed and RSS.
+package phase
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sync"
+
+	"pas2p/internal/fsx"
+	"pas2p/internal/logical"
+	"pas2p/internal/trace"
+	"pas2p/internal/vtime"
+)
+
+// TickSource feeds logically-ordered ticks to the streaming extractor;
+// logical.TickReader implements it. Next returns io.EOF after the last
+// tick; the returned Tick may be scratch reused by the following call.
+type TickSource interface {
+	Next() (*logical.Tick, error)
+}
+
+// StreamConfig extends the similarity knobs with the out-of-core
+// memory policy.
+type StreamConfig struct {
+	Config
+	// MemBudgetBytes caps the bytes of representative behaviour
+	// matrices held resident; matrices beyond it spill to disk and are
+	// reloaded on demand. 0 disables spilling (everything stays
+	// in-core, like Extract).
+	MemBudgetBytes int64
+	// FS and SpillDir locate the spill files. FS defaults to the real
+	// filesystem; SpillDir is required when MemBudgetBytes > 0 and is
+	// created if missing.
+	FS       fsx.FS
+	SpillDir string
+}
+
+// StreamStats counts what the out-of-core machinery actually did.
+type StreamStats struct {
+	// Ticks is the logical length of the trace.
+	Ticks int
+	// SpilledPhases is how many distinct phase matrices were ever
+	// written to the spill store.
+	SpilledPhases int
+	// SpillLoads is how many times a matrix was read back for scoring.
+	SpillLoads int64
+	// SpillBytes is the total bytes written to spill files.
+	SpillBytes int64
+}
+
+// StreamResult is the outcome of one streaming extraction: the
+// analysis (Logical is nil — the trace was never materialised), the
+// phase table, and the spill statistics.
+type StreamResult struct {
+	Analysis *Analysis
+	Table    *Table
+	Stats    StreamStats
+	store    *spillStore
+}
+
+// MaterializeCells populates Phase.Cells for every phase from the
+// spill store (a no-op without a budget). It trades the memory bound
+// away for in-core access — call it only when the matrices are needed,
+// e.g. to compare analyses in tests.
+func (r *StreamResult) MaterializeCells() error {
+	if r.store == nil {
+		return nil
+	}
+	return r.store.materialize()
+}
+
+// Close deletes the spill files. The analysis and table stay valid;
+// un-materialised Cells do not.
+func (r *StreamResult) Close() error {
+	if r.store == nil {
+		return nil
+	}
+	return r.store.close()
+}
+
+// ctxCheckEvery is how many ticks pass between context checks.
+const ctxCheckEvery = 1024
+
+// ExtractStreamTable runs the §3.3 extraction and the phase-table
+// derivation over a tick stream in one bounded-memory pass. meta is
+// the source tracefile's header (app name, process count, base AET);
+// warmOccurrence selects the designated occurrence exactly as
+// BuildTable does.
+func ExtractStreamTable(ctx context.Context, src TickSource, meta trace.Meta, warmOccurrence int, cfg StreamConfig) (*StreamResult, error) {
+	if err := cfg.Config.validate(); err != nil {
+		return nil, err
+	}
+	if warmOccurrence < 0 {
+		return nil, fmt.Errorf("phase: negative warm occurrence index")
+	}
+	if meta.Procs <= 0 {
+		return nil, fmt.Errorf("phase: tracefile header declares %d processes", meta.Procs)
+	}
+	var store *spillStore
+	if cfg.MemBudgetBytes > 0 {
+		fs := cfg.FS
+		if fs == nil {
+			fs = fsx.OS{}
+		}
+		if cfg.SpillDir == "" {
+			return nil, fmt.Errorf("phase: memory budget set but no spill directory")
+		}
+		if err := fs.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+			return nil, fmt.Errorf("phase: creating spill dir: %w", err)
+		}
+		store = &spillStore{fs: fs, dir: cfg.SpillDir, budget: cfg.MemBudgetBytes,
+			procs: meta.Procs, entries: map[int]*spillEntry{}}
+	}
+	sp := cfg.Observer.StartSpan("phase.extract.stream")
+	x := &streamExtractor{
+		cfg:        cfg.Config,
+		procs:      meta.Procs,
+		m:          newMatcher(cfg.Config),
+		store:      store,
+		an:         &Analysis{Config: cfg.Config, AET: meta.AET},
+		warm:       warmOccurrence,
+		baseCounts: make([]int64, meta.Procs),
+		cum:        make([]int64, meta.Procs),
+		cacheBufs:  map[int]*cacheBuf{},
+	}
+	if store != nil {
+		x.m.cellsOf = store.cells
+	}
+	x.ft.init(512)
+
+	for i := 0; ; i++ {
+		if i%ctxCheckEvery == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		tk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		x.ingest(tk)
+		if x.err != nil {
+			return nil, x.err
+		}
+	}
+	if x.nTicks == 0 {
+		return nil, fmt.Errorf("phase: empty logical trace")
+	}
+	// Trailing window, exactly like the in-core scan's final close.
+	x.closeWindow(x.start, x.nTicks)
+	if x.err != nil {
+		return nil, x.err
+	}
+
+	tb := x.finishTable(meta)
+	res := &StreamResult{Analysis: x.an, Table: tb, store: store}
+	res.Stats.Ticks = x.nTicks
+	if store != nil {
+		res.Stats.SpilledPhases, res.Stats.SpillLoads, res.Stats.SpillBytes = store.stats()
+	}
+	sp.SetCounter("ticks", int64(x.nTicks))
+	sp.SetCounter("phases_found", int64(len(x.an.Phases)))
+	sp.SetCounter("windows_scored", x.m.nScored)
+	sp.SetCounter("windows_pruned", x.m.nPruned)
+	sp.SetCounter("window_cache_hits", x.m.nCacheHits)
+	sp.SetCounter("spilled_phases", int64(res.Stats.SpilledPhases))
+	sp.SetCounter("spill_loads", res.Stats.SpillLoads)
+	sp.End()
+	return res, nil
+}
+
+// occSnap freezes one occurrence's table-relevant view: its index
+// within the phase, its tick window and the per-process event counts
+// at its boundaries. Snapshots are immutable once taken.
+type occSnap struct {
+	idx                int
+	startTick, endTick int
+	startEv, endEv     []int64
+	dur                vtime.Duration
+}
+
+// rowState accumulates, per phase, exactly what the streaming table
+// builder needs to reproduce designate() without the occurrence list:
+// the latest occurrence, the warm-index occurrence, and the first
+// back-to-back pair at or past the warm index (frozen when its second
+// half arrives — occurrences arrive in tick order, so the first pair
+// seen is the first pair there is).
+type rowState struct {
+	lastSet  bool
+	last     occSnap
+	warmSet  bool
+	warmSnap occSnap
+	frozen   bool
+	pairIdx  int
+	pairOcc  occSnap
+	pair2End []int64
+	pair2Dur vtime.Duration
+}
+
+// cacheBuf is a per-tick-length stable copy target for the matcher's
+// window-equality cache: the open window's rows are recycled at every
+// restart, so a cached window must own its storage. One buffer per
+// bucket suffices — setCache replaces the bucket's previous entry, and
+// the copy happens strictly after the current window's cacheHit
+// compare.
+type cacheBuf struct {
+	flat []Cell
+	rows [][]Cell
+}
+
+type streamExtractor struct {
+	cfg   Config
+	procs int
+	m     *matcher
+	store *spillStore
+	an    *Analysis
+	err   error
+
+	// Open-window state: rows buffered since the current startpoint.
+	start     int
+	cutStart  vtime.Time   // completion cut at the startpoint
+	hw        vtime.Time   // running completion-cut high-water mark
+	rows      [][]Cell     // behaviour rows for ticks [start, t)
+	rowExit   []vtime.Time // per-row max event exit
+	rowEvents []int        // per-row present-cell count
+	rowPool   [][]Cell     // recycled row storage
+	ft        firstTable
+
+	// Per-process event counters for table boundaries: cum counts all
+	// consumed ticks, baseCounts is cum frozen at the startpoint.
+	baseCounts []int64
+	cum        []int64
+
+	warm      int
+	rstate    []*rowState // indexed by phase ID-1
+	cacheBufs map[int]*cacheBuf
+
+	nTicks int
+}
+
+// ingest advances the scan by one tick: repeat-scan it, close windows
+// if it repeats, then append its row to the open window. Mirrors one
+// iteration of runIndexed's tick loop.
+func (x *streamExtractor) ingest(tk *logical.Tick) {
+	t := tk.Index
+	repeatFirst := -1
+	for _, sl := range tk.Slots {
+		if f := x.ft.insertOrGet(sl.Sig, sl.Proc, t); f >= 0 && (repeatFirst < 0 || f < repeatFirst) {
+			repeatFirst = f
+		}
+	}
+	if repeatFirst >= 0 {
+		if repeatFirst == x.start {
+			// Step 4a: one full period [start, t).
+			x.closeWindow(x.start, t)
+		} else {
+			// Step 4b: partition into phase a and phase b.
+			x.closeWindow(x.start, repeatFirst)
+			x.closeWindow(repeatFirst, t)
+		}
+		if x.err != nil {
+			return
+		}
+		// Step 6: new startpoint at t; the repeated event opens the new
+		// window.
+		x.rowPool = append(x.rowPool, x.rows...)
+		x.rows = x.rows[:0]
+		x.rowExit = x.rowExit[:0]
+		x.rowEvents = x.rowEvents[:0]
+		x.start = t
+		x.cutStart = x.hw
+		copy(x.baseCounts, x.cum)
+		x.ft.reset()
+		for _, sl := range tk.Slots {
+			x.ft.insertOrGet(sl.Sig, sl.Proc, t)
+		}
+	}
+	var row []Cell
+	if n := len(x.rowPool); n > 0 {
+		row = x.rowPool[n-1]
+		x.rowPool[n-1] = nil
+		x.rowPool = x.rowPool[:n-1]
+		clear(row)
+	} else {
+		row = make([]Cell, x.procs)
+	}
+	var exitMax vtime.Time
+	for _, sl := range tk.Slots {
+		row[sl.Proc] = Cell{Present: true, Sig: sl.Sig, Size: sl.Size, Compute: sl.Compute}
+		if sl.Exit > exitMax {
+			exitMax = sl.Exit
+		}
+		x.cum[sl.Proc]++
+	}
+	x.rows = append(x.rows, row)
+	x.rowExit = append(x.rowExit, exitMax)
+	x.rowEvents = append(x.rowEvents, len(tk.Slots))
+	if exitMax > x.hw {
+		x.hw = exitMax
+	}
+	x.nTicks++
+}
+
+// cutAt returns the completion cut at window boundary b (start <= b <=
+// current tick): the running max of event exits over all ticks < b,
+// identical to the in-core cuts array.
+func (x *streamExtractor) cutAt(b int) vtime.Time {
+	c := x.cutStart
+	for _, e := range x.rowExit[:b-x.start] {
+		if e > c {
+			c = e
+		}
+	}
+	return c
+}
+
+// countsAt returns, per process, how many events precede window
+// boundary b — the same numbers BuildTable's eventsBefore binary
+// search yields, counted incrementally.
+func (x *streamExtractor) countsAt(b int) []int64 {
+	out := make([]int64, x.procs)
+	if b-x.start >= len(x.rows) {
+		copy(out, x.cum)
+		return out
+	}
+	copy(out, x.baseCounts)
+	for _, row := range x.rows[:b-x.start] {
+		for p := range row {
+			if row[p].Present {
+				out[p]++
+			}
+		}
+	}
+	return out
+}
+
+// closeWindow folds [s,e) through the matching engine — the streaming
+// twin of savePhaseCells, plus the occurrence snapshot for the table.
+func (x *streamExtractor) closeWindow(s, e int) {
+	if e <= s {
+		return
+	}
+	cells := x.rows[s-x.start : e-x.start : e-x.start]
+	events := 0
+	for _, n := range x.rowEvents[s-x.start : e-x.start] {
+		events += n
+	}
+	occ := Occurrence{StartTick: s, EndTick: e, Dur: x.cutAt(e).Sub(x.cutAt(s))}
+	var ph *Phase
+	if match := x.m.cacheHit(cells, events); match != nil {
+		match.Occurrences = append(match.Occurrences, occ)
+		ph = match
+	} else if match := x.m.match(cells, events); match != nil {
+		x.setCacheCopy(cells, events, match)
+		match.Occurrences = append(match.Occurrences, occ)
+		ph = match
+	} else {
+		owned := copyCells(cells)
+		np := &Phase{
+			ID:          len(x.an.Phases) + 1,
+			TickLen:     len(cells),
+			Events:      events,
+			Occurrences: []Occurrence{occ},
+		}
+		x.an.Phases = append(x.an.Phases, np)
+		x.m.addCurrent(np, owned)
+		x.m.setCache(owned, events, np)
+		if x.store != nil {
+			x.store.adopt(np, owned)
+		} else {
+			np.Cells = owned
+		}
+		x.rstate = append(x.rstate, &rowState{})
+		ph = np
+	}
+	if x.store != nil {
+		if err := x.store.takeErr(); err != nil {
+			x.err = err
+			return
+		}
+	}
+	x.noteOccurrence(ph, occ)
+}
+
+// setCacheCopy stores the window in the matcher's equality cache
+// through the bucket's stable buffer (live rows recycle at restarts).
+func (x *streamExtractor) setCacheCopy(cells [][]Cell, events int, p *Phase) {
+	L := len(cells)
+	b := x.cacheBufs[L]
+	if b == nil {
+		flat := make([]Cell, L*x.procs)
+		b = &cacheBuf{flat: flat, rows: make([][]Cell, L)}
+		for t := range b.rows {
+			b.rows[t] = flat[t*x.procs : (t+1)*x.procs : (t+1)*x.procs]
+		}
+		x.cacheBufs[L] = b
+	}
+	for t, row := range cells {
+		copy(b.rows[t], row)
+	}
+	x.m.setCache(b.rows, events, p)
+}
+
+// noteOccurrence feeds the streaming table builder: remember the warm
+// occurrence, the latest one, and freeze the designated back-to-back
+// pair the moment its second half arrives.
+func (x *streamExtractor) noteOccurrence(ph *Phase, occ Occurrence) {
+	rs := x.rstate[ph.ID-1]
+	k := len(ph.Occurrences) - 1
+	snap := occSnap{
+		idx: k, startTick: occ.StartTick, endTick: occ.EndTick,
+		startEv: x.countsAt(occ.StartTick), endEv: x.countsAt(occ.EndTick),
+		dur: occ.Dur,
+	}
+	if !rs.frozen && rs.lastSet && rs.last.idx >= x.warm && rs.last.endTick == occ.StartTick {
+		rs.frozen = true
+		rs.pairIdx = rs.last.idx
+		rs.pairOcc = rs.last
+		rs.pair2End = snap.endEv
+		rs.pair2Dur = occ.Dur
+	}
+	if k == x.warm {
+		rs.warmSet = true
+		rs.warmSnap = snap
+	}
+	rs.last = snap
+	rs.lastSet = true
+}
+
+// finishTable assembles the phase table from the per-phase snapshots.
+// The designation rule is exactly BuildTable's designate(): the warm
+// index clamped to the last occurrence, advanced to the first
+// back-to-back pair at or past it.
+func (x *streamExtractor) finishTable(meta trace.Meta) *Table {
+	relevant := map[int]bool{}
+	for _, p := range x.an.Relevant() {
+		relevant[p.ID] = true
+	}
+	tb := &Table{
+		AppName:     meta.AppName,
+		Procs:       x.procs,
+		BaseAET:     x.an.AET,
+		TotalPhases: len(x.an.Phases),
+	}
+	for _, p := range x.an.Phases {
+		rs := x.rstate[p.ID-1]
+		var snap occSnap
+		switch {
+		case rs.frozen:
+			snap = rs.pairOcc
+		case len(p.Occurrences)-1 < x.warm:
+			snap = rs.last
+		default:
+			snap = rs.warmSnap
+		}
+		row := TableRow{
+			PhaseID:     p.ID,
+			Weight:      p.Weight(),
+			PhaseET:     p.MeanET(),
+			Relevant:    relevant[p.ID],
+			Occurrence:  snap.idx,
+			StartTick:   snap.startTick,
+			EndTick:     snap.endTick,
+			StartEvents: snap.startEv,
+			EndEvents:   snap.endEv,
+		}
+		if rs.frozen {
+			row.HasPair = true
+			row.End2Events = rs.pair2End
+			row.ETScale = etScaleFor(row.PhaseET, rs.pair2Dur)
+		}
+		tb.Rows = append(tb.Rows, row)
+	}
+	return tb
+}
+
+// --- spill store ---
+
+// spillCellBytes is the on-disk size of one cell: present flag,
+// signature, size, compute time.
+const spillCellBytes = 1 + 8 + 8 + 8
+
+// residentCellBytes estimates one cell's in-memory footprint for the
+// budget accounting.
+const residentCellBytes = 32
+
+// spillTable is the Castagnoli table the spill codec shares with the
+// tracefile format.
+var spillTable = crc32.MakeTable(crc32.Castagnoli)
+
+type spillEntry struct {
+	ph      *Phase
+	cells   [][]Cell // nil while evicted
+	bytes   int64
+	lastSeq int64
+	onDisk  bool
+}
+
+// spillStore owns every phase's representative matrix during a
+// budgeted extraction: a mutex-guarded resident set with LRU eviction
+// to one CRC-checked file per phase. Phase.Cells stays nil throughout,
+// so concurrent matcher workers never race on it — all access funnels
+// through cells().
+type spillStore struct {
+	fs     fsx.FS
+	dir    string
+	budget int64
+	procs  int
+
+	mu         sync.Mutex
+	entries    map[int]*spillEntry
+	resident   int64
+	seq        int64
+	firstErr   error
+	spilled    int
+	loads      int64
+	spillBytes int64
+}
+
+func (s *spillStore) path(id int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("phase-%06d.cells", id))
+}
+
+// adopt takes ownership of a freshly discovered phase's matrix.
+func (s *spillStore) adopt(p *Phase, cells [][]Cell) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	e := &spillEntry{ph: p, cells: cells,
+		bytes: int64(p.TickLen) * int64(s.procs) * residentCellBytes, lastSeq: s.seq}
+	s.entries[p.ID] = e
+	s.resident += e.bytes
+	s.evict(p.ID)
+}
+
+// cells returns a phase's matrix for scoring, loading it from the
+// spill file if it was evicted. Safe for concurrent use; on I/O error
+// it records the error and returns an all-absent matrix of the right
+// shape so the caller's scan stays in bounds (the extraction aborts at
+// the next error check).
+func (s *spillStore) cells(p *Phase) [][]Cell {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.entries[p.ID]
+	if e == nil {
+		s.fail(fmt.Errorf("phase: spill store has no entry for phase %d", p.ID))
+		return zeroCells(p.TickLen, s.procs)
+	}
+	s.seq++
+	e.lastSeq = s.seq
+	if e.cells != nil {
+		return e.cells
+	}
+	cells, err := s.load(p)
+	if err != nil {
+		s.fail(err)
+		return zeroCells(p.TickLen, s.procs)
+	}
+	s.loads++
+	e.cells = cells
+	s.resident += e.bytes
+	s.evict(p.ID)
+	return cells
+}
+
+// evict spills least-recently-used matrices until the resident set
+// fits the budget, never touching excludeID (the entry being served).
+// Callers hold s.mu.
+func (s *spillStore) evict(excludeID int) {
+	for s.resident > s.budget {
+		var victim *spillEntry
+		vid := -1
+		for id, e := range s.entries {
+			if id == excludeID || e.cells == nil {
+				continue
+			}
+			if victim == nil || e.lastSeq < victim.lastSeq {
+				victim, vid = e, id
+			}
+		}
+		if victim == nil {
+			return
+		}
+		if !victim.onDisk {
+			data := encodeSpill(victim.cells)
+			if err := s.writeFile(s.path(vid), data); err != nil {
+				s.fail(err)
+				return
+			}
+			victim.onDisk = true
+			s.spilled++
+			s.spillBytes += int64(len(data))
+		}
+		victim.cells = nil
+		s.resident -= victim.bytes
+	}
+}
+
+func (s *spillStore) writeFile(path string, data []byte) error {
+	f, err := s.fs.Create(path)
+	if err != nil {
+		return fmt.Errorf("phase: creating spill file: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("phase: writing %s: %w", path, err)
+	}
+	// Spill files are scratch, not durable artefacts: a crash reruns
+	// the analysis, so no Sync before Close.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("phase: closing %s: %w", path, err)
+	}
+	return nil
+}
+
+// load reads a phase's matrix back, verifying shape and checksum.
+func (s *spillStore) load(p *Phase) ([][]Cell, error) {
+	data, err := s.fs.ReadFile(s.path(p.ID))
+	if err != nil {
+		return nil, fmt.Errorf("phase: reading spilled matrix of phase %d: %w", p.ID, err)
+	}
+	return decodeSpill(data, p.ID, p.TickLen, s.procs)
+}
+
+// fail records the first error; later calls keep it.
+func (s *spillStore) fail(err error) {
+	if s.firstErr == nil {
+		s.firstErr = err
+	}
+}
+
+// takeErr returns the first recorded error.
+func (s *spillStore) takeErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.firstErr
+}
+
+func (s *spillStore) stats() (spilled int, loads, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spilled, s.loads, s.spillBytes
+}
+
+// materialize sets Phase.Cells on every phase, loading evicted
+// matrices from disk. The budget is no longer enforced afterwards.
+func (s *spillStore) materialize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.firstErr != nil {
+		return s.firstErr
+	}
+	for _, e := range s.entries {
+		if e.cells == nil {
+			cells, err := s.load(e.ph)
+			if err != nil {
+				return err
+			}
+			e.cells = cells
+			s.resident += e.bytes
+		}
+		e.ph.Cells = e.cells
+	}
+	return nil
+}
+
+// close removes the spill files and the directory (best effort on the
+// directory: it may hold unrelated files).
+func (s *spillStore) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	for id, e := range s.entries {
+		if !e.onDisk {
+			continue
+		}
+		if err := s.fs.Remove(s.path(id)); err != nil && first == nil {
+			first = err
+		}
+		e.onDisk = false
+	}
+	s.fs.Remove(s.dir)
+	return first
+}
+
+func zeroCells(tickLen, procs int) [][]Cell {
+	flat := make([]Cell, tickLen*procs)
+	out := make([][]Cell, tickLen)
+	for t := range out {
+		out[t] = flat[t*procs : (t+1)*procs : (t+1)*procs]
+	}
+	return out
+}
+
+// encodeSpill serialises a matrix: tick length, process count, the
+// cells row-major, and a trailing CRC32C over everything before it.
+func encodeSpill(cells [][]Cell) []byte {
+	tickLen := len(cells)
+	procs := 0
+	if tickLen > 0 {
+		procs = len(cells[0])
+	}
+	buf := make([]byte, 8+tickLen*procs*spillCellBytes+4)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(tickLen))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(procs))
+	off := 8
+	for _, row := range cells {
+		for i := range row {
+			c := &row[i]
+			if c.Present {
+				buf[off] = 1
+			}
+			binary.LittleEndian.PutUint64(buf[off+1:], c.Sig)
+			binary.LittleEndian.PutUint64(buf[off+9:], uint64(c.Size))
+			binary.LittleEndian.PutUint64(buf[off+17:], uint64(c.Compute))
+			off += spillCellBytes
+		}
+	}
+	binary.LittleEndian.PutUint32(buf[off:], crc32.Checksum(buf[:off], spillTable))
+	return buf
+}
+
+// decodeSpill parses and verifies a spilled matrix against the shape
+// the phase declares.
+func decodeSpill(data []byte, id, tickLen, procs int) ([][]Cell, error) {
+	want := 8 + tickLen*procs*spillCellBytes + 4
+	if len(data) != want {
+		return nil, fmt.Errorf("phase: spilled matrix of phase %d is %d bytes, want %d", id, len(data), want)
+	}
+	if got, wantLen := binary.LittleEndian.Uint32(data[0:]), uint32(tickLen); got != wantLen {
+		return nil, fmt.Errorf("phase: spilled matrix of phase %d declares tick length %d, phase has %d", id, got, wantLen)
+	}
+	if got := binary.LittleEndian.Uint32(data[4:]); got != uint32(procs) {
+		return nil, fmt.Errorf("phase: spilled matrix of phase %d declares %d processes, trace has %d", id, got, procs)
+	}
+	body := data[:len(data)-4]
+	crc := crc32.Checksum(body, spillTable)
+	if got := binary.LittleEndian.Uint32(data[len(data)-4:]); got != crc {
+		return nil, fmt.Errorf("phase: spilled matrix of phase %d checksum mismatch (stored %08x, computed %08x)", id, got, crc)
+	}
+	out := zeroCells(tickLen, procs)
+	off := 8
+	for _, row := range out {
+		for i := range row {
+			row[i] = Cell{
+				Present: data[off] != 0,
+				Sig:     binary.LittleEndian.Uint64(data[off+1:]),
+				Size:    int64(binary.LittleEndian.Uint64(data[off+9:])),
+				Compute: vtime.Duration(binary.LittleEndian.Uint64(data[off+17:])),
+			}
+			off += spillCellBytes
+		}
+	}
+	return out, nil
+}

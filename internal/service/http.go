@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime/debug"
 	"strconv"
+	"strings"
 	"time"
 
 	"pas2p"
@@ -19,6 +21,7 @@ import (
 	"pas2p/internal/logical"
 	"pas2p/internal/machine"
 	"pas2p/internal/mpi"
+	"pas2p/internal/obs"
 	"pas2p/internal/obs/obshttp"
 	"pas2p/internal/phase"
 	"pas2p/internal/signature"
@@ -35,6 +38,11 @@ const DeadlineHeader = "X-Deadline-Ms"
 // (computed fresh), or "bypass" (non-v2 upload — no whole-file CRC to
 // key on).
 const CacheHeader = "X-Cache"
+
+// AnalyzeModeHeader reports which pipeline served an analyze request:
+// "in-core" (the whole trace decoded into memory) or "stream" (the
+// out-of-core bounded-memory pipeline over a disk spool).
+const AnalyzeModeHeader = "X-Analyze-Mode"
 
 // Wire types. The loadgen imports these, so requests and responses
 // stay structurally in sync between client and server.
@@ -135,7 +143,7 @@ type PredictResponse struct {
 // reports the daemon lifecycle (ready → draining → done).
 func (s *Service) Handler() (http.Handler, error) {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/analyze", s.wrap(s.heavy, "analyze", s.handleAnalyze))
+	mux.HandleFunc("/v1/analyze", s.wrapLane(s.analyzeLane, "analyze", s.handleAnalyze))
 	mux.HandleFunc("/v1/sign", s.wrap(s.heavy, "sign", s.handleSign))
 	mux.HandleFunc("/v1/lookup", s.wrap(s.light, "lookup", s.handleLookup))
 	mux.HandleFunc("/v1/predict", s.wrap(s.heavy, "predict", s.handlePredict))
@@ -194,13 +202,47 @@ type apiHandler func(ctx context.Context, r *http.Request) (*handlerResult, *API
 // body capping, admission control with load shedding, panic isolation,
 // latency/EWMA accounting, and the no-deadline-blown-200s rule.
 func (s *Service) wrap(a *admitter, op string, h apiHandler) http.HandlerFunc {
-	deadline := s.cfg.HeavyDeadline
-	lat := s.latHeavy
-	if a == s.light {
-		deadline = s.cfg.LightDeadline
-		lat = s.latLight
+	return s.wrapLane(func(*http.Request) *admitter { return a }, op, h)
+}
+
+// streamEligible reports whether an analyze upload should be served by
+// the out-of-core stream lane: a declared Content-Length at or above
+// the threshold. Chunked uploads (length -1) stay in-core — without a
+// declared size the lane choice would be a guess, and the in-core body
+// cap still bounds them.
+func (s *Service) streamEligible(r *http.Request) bool {
+	return s.cfg.StreamThresholdBytes > 0 && r.ContentLength >= s.cfg.StreamThresholdBytes
+}
+
+// analyzeLane routes analyze requests between the heavy (in-core) and
+// stream (out-of-core) admission classes by declared body size, so the
+// cost model of each lane learns its own service-time distribution.
+func (s *Service) analyzeLane(r *http.Request) *admitter {
+	if s.streamEligible(r) {
+		return s.stream
 	}
+	return s.heavy
+}
+
+// laneParams resolves an admission class's request parameters: default
+// deadline, latency histogram, and body cap.
+func (s *Service) laneParams(a *admitter) (time.Duration, *obs.Histogram, int64) {
+	switch a {
+	case s.light:
+		return s.cfg.LightDeadline, s.latLight, s.cfg.MaxBodyBytes
+	case s.stream:
+		return s.cfg.StreamDeadline, s.latStream, s.cfg.StreamBodyBytes
+	default:
+		return s.cfg.HeavyDeadline, s.latHeavy, s.cfg.MaxBodyBytes
+	}
+}
+
+// wrapLane is wrap with the admission class picked per request (the
+// analyze endpoint straddles two lanes).
+func (s *Service) wrapLane(pick func(*http.Request) *admitter, op string, h apiHandler) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		a := pick(r)
+		deadline, lat, bodyCap := s.laneParams(a)
 		s.mReqs.Inc()
 		start := time.Now()
 		if !s.enter() {
@@ -224,7 +266,7 @@ func (s *Service) wrap(a *admitter, op string, h apiHandler) http.HandlerFunc {
 			}
 		}()
 
-		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		r.Body = http.MaxBytesReader(w, r.Body, bodyCap)
 		clientWants, aerr := clientDeadline(r)
 		if aerr != nil {
 			wrote = true
@@ -402,6 +444,9 @@ func (s *Service) handleAnalyze(ctx context.Context, r *http.Request) (*handlerR
 		}
 		warm = n
 	}
+	if s.streamEligible(r) {
+		return s.handleAnalyzeStream(ctx, r, warm)
+	}
 	data, err := io.ReadAll(r.Body)
 	if err != nil {
 		var mbe *http.MaxBytesError
@@ -423,13 +468,13 @@ func (s *Service) handleAnalyze(ctx context.Context, r *http.Request) (*handlerR
 		if aerr != nil {
 			return nil, aerr
 		}
-		return &handlerResult{v: resp, header: map[string]string{CacheHeader: "bypass"}}, nil
+		return &handlerResult{v: resp, header: analyzeHeaders("bypass", "in-core")}, nil
 	}
 
 	k := cacheKey{crc: crc, size: int64(len(data)), warm: warm}
 	if v, ok := s.cache.get(k); ok {
 		s.mCacheHit.Inc()
-		return &handlerResult{v: v, header: map[string]string{CacheHeader: "hit"}}, nil
+		return &handlerResult{v: v, header: analyzeHeaders("hit", "in-core")}, nil
 	}
 	s.mCacheMiss.Inc()
 	v, err, leader := s.group.do(ctx, k, func() (*AnalyzeResponse, error) {
@@ -448,7 +493,140 @@ func (s *Service) handleAnalyze(ctx context.Context, r *http.Request) (*handlerR
 		s.mDedup.Inc()
 		how = "dedup"
 	}
-	return &handlerResult{v: v, header: map[string]string{CacheHeader: how}}, nil
+	return &handlerResult{v: v, header: analyzeHeaders(how, "in-core")}, nil
+}
+
+func analyzeHeaders(cache, mode string) map[string]string {
+	return map[string]string{CacheHeader: cache, AnalyzeModeHeader: mode}
+}
+
+// handleAnalyzeStream serves a large analyze upload out-of-core: the
+// body is spooled to a scratch file (never held on the heap), its v2
+// trailer CRC keys the same LRU/single-flight as the in-core path, and
+// the bounded-memory AnalyzeStream pipeline produces the answer — bit-
+// identical to the in-core one, so cache entries are interchangeable
+// between lanes. A spooled upload that turns out not to be v2 falls
+// back in-core when it fits under MaxBodyBytes, else it is refused:
+// only the checksummed block format supports random access.
+func (s *Service) handleAnalyzeStream(ctx context.Context, r *http.Request, warm int) (*handlerResult, *APIError) {
+	spool, err := os.CreateTemp("", "pas2p-upload-*.pas2p")
+	if err != nil {
+		return nil, errInternal(err)
+	}
+	defer func() {
+		spool.Close()
+		os.Remove(spool.Name())
+	}()
+	size, err := io.Copy(spool, r.Body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, errBodyTooLarge(mbe.Limit)
+		}
+		return nil, errBadRequest("reading body: %v", err)
+	}
+	if size == 0 {
+		return nil, errBadRequest("empty body: POST the tracefile bytes")
+	}
+
+	crc, isV2 := trace.FileCRCAt(spool, size)
+	if !isV2 {
+		if size > s.cfg.MaxBodyBytes {
+			return nil, errBodyTooLarge(s.cfg.MaxBodyBytes)
+		}
+		data := make([]byte, size)
+		if _, err := spool.ReadAt(data, 0); err != nil {
+			return nil, errInternal(err)
+		}
+		resp, aerr := s.analyzeWork(ctx, data, 0, warm)
+		if aerr != nil {
+			return nil, aerr
+		}
+		return &handlerResult{v: resp, header: analyzeHeaders("bypass", "in-core")}, nil
+	}
+
+	k := cacheKey{crc: crc, size: size, warm: warm}
+	if v, ok := s.cache.get(k); ok {
+		s.mCacheHit.Inc()
+		return &handlerResult{v: v, header: analyzeHeaders("hit", "stream")}, nil
+	}
+	s.mCacheMiss.Inc()
+	v, err, leader := s.group.do(ctx, k, func() (*AnalyzeResponse, error) {
+		resp, aerr := s.analyzeStreamWork(ctx, spool, crc, warm)
+		if aerr != nil {
+			return nil, aerr
+		}
+		s.cache.put(k, resp)
+		return resp, nil
+	})
+	if err != nil {
+		return nil, asAPIError(err, "analyze")
+	}
+	how := "miss"
+	if !leader {
+		s.mDedup.Inc()
+		how = "dedup"
+	}
+	return &handlerResult{v: v, header: analyzeHeaders(how, "stream")}, nil
+}
+
+// analyzeStreamWork runs the bounded-memory pipeline over a spooled
+// upload under the request context (stage-boundary cancellation inside
+// AnalyzeStream, worker abandonment via runWork).
+func (s *Service) analyzeStreamWork(ctx context.Context, spool *os.File, crc uint32, warm int) (*AnalyzeResponse, *APIError) {
+	v, err := s.runWork(ctx, "analyze", func() (any, error) {
+		br, err := trace.NewBlockReader(io.NewSectionReader(spool, 0, 1<<62))
+		if err != nil {
+			return nil, errCorruptTrace(err)
+		}
+		defer br.Close()
+		spill, err := os.MkdirTemp("", "pas2p-spill-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(spill)
+		res, err := pas2p.AnalyzeStream(ctx, br, phase.DefaultConfig(), warm, pas2p.AnalyzeStreamOptions{
+			MemBudgetBytes: s.cfg.StreamMemBudget,
+			SpillDir:       spill,
+		})
+		if err != nil {
+			// Corruption discovered mid-stream (a block CRC deep in the
+			// spool) surfaces here rather than at decode time; map it to
+			// the same typed rejection the in-core decoder produces.
+			if strings.HasPrefix(err.Error(), "trace:") {
+				return nil, errCorruptTrace(err)
+			}
+			return nil, err
+		}
+		defer res.Close()
+		meta := br.Meta()
+		tb := res.Table
+		rel := tb.RelevantRows()
+		resp := &AnalyzeResponse{
+			App:            meta.AppName,
+			Procs:          meta.Procs,
+			Events:         int(meta.Events),
+			TraceCRC32C:    crc,
+			Warm:           warm,
+			BaseAETNS:      int64(tb.BaseAET),
+			TotalPhases:    tb.TotalPhases,
+			Relevant:       len(rel),
+			PredictedAETNS: int64(tb.PredictedAET(true)),
+			Phases:         make([]PhaseSummary, 0, len(rel)),
+		}
+		for _, row := range rel {
+			resp.Phases = append(resp.Phases, PhaseSummary{
+				PhaseID:   row.PhaseID,
+				Weight:    row.Weight,
+				PhaseETNS: int64(row.PhaseET),
+			})
+		}
+		return resp, nil
+	})
+	if err != nil {
+		return nil, asAPIError(err, "analyze")
+	}
+	return v.(*AnalyzeResponse), nil
 }
 
 // analyzeWork decodes and analyses one uploaded tracefile under the

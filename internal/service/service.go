@@ -82,6 +82,33 @@ type Config struct {
 	// passed to the pipeline (0: half of GOMAXPROCS, min 1 — analyses
 	// already run concurrently across requests).
 	AnalyzeWorkers int
+
+	// The stream lane: analyze uploads whose declared Content-Length is
+	// at least StreamThresholdBytes are spooled to disk and analysed
+	// out-of-core (AnalyzeStream), so the body cap for them can sit far
+	// above MaxBodyBytes without heap risk. The lane has its own
+	// admission class ("stream") — slots, queue and EWMA cost model —
+	// because a multi-gigabyte analysis would otherwise poison the heavy
+	// class's service-time estimate and shed ordinary requests.
+
+	// StreamThresholdBytes routes analyze uploads with ContentLength >=
+	// this to the stream lane (0: 8 MiB; negative disables streaming).
+	// Chunked uploads (unknown length) always stay in-core.
+	StreamThresholdBytes int64
+	// StreamBodyBytes caps a streamed upload's body (0: 4 GiB).
+	StreamBodyBytes int64
+	// StreamMemBudget bounds resident phase matrices during an
+	// out-of-core analysis; cold matrices spill to scratch files
+	// (0: 256 MiB).
+	StreamMemBudget int64
+	// StreamSlots/StreamQueue bound the stream class (0: 1 slot —
+	// streamed analyses are disk-bound, serialising them protects the
+	// spool directory — and a 2-deep queue). Negative queue means none.
+	StreamSlots int
+	StreamQueue int
+	// StreamDeadline is the stream class's default per-request deadline
+	// (0: 4x HeavyDeadline).
+	StreamDeadline time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +154,27 @@ func (c Config) withDefaults() Config {
 	if c.AnalyzeWorkers <= 0 {
 		c.AnalyzeWorkers = max(1, runtime.GOMAXPROCS(0)/2)
 	}
+	if c.StreamThresholdBytes == 0 {
+		c.StreamThresholdBytes = 8 << 20
+	}
+	if c.StreamBodyBytes <= 0 {
+		c.StreamBodyBytes = 4 << 30
+	}
+	if c.StreamMemBudget <= 0 {
+		c.StreamMemBudget = 256 << 20
+	}
+	if c.StreamSlots <= 0 {
+		c.StreamSlots = 1
+	}
+	switch {
+	case c.StreamQueue == 0:
+		c.StreamQueue = 2 * c.StreamSlots
+	case c.StreamQueue < 0:
+		c.StreamQueue = 0
+	}
+	if c.StreamDeadline <= 0 {
+		c.StreamDeadline = 4 * c.HeavyDeadline
+	}
 	return c
 }
 
@@ -138,10 +186,11 @@ type Service struct {
 	o    *obs.Observer
 	reg  *obs.Registry
 
-	heavy *admitter
-	light *admitter
-	cache *lruCache
-	group *flightGroup
+	heavy  *admitter
+	light  *admitter
+	stream *admitter
+	cache  *lruCache
+	group  *flightGroup
 
 	// baseCtx parents every request context; cancelBase is the drain
 	// deadline's hammer — it sheds whatever is still in flight.
@@ -167,6 +216,7 @@ type Service struct {
 	mDrainShed *obs.Counter
 	latHeavy   *obs.Histogram
 	latLight   *obs.Histogram
+	latStream  *obs.Histogram
 
 	// afterAdmit is a test seam: it runs after admission, inside the
 	// request, with the request context (panic isolation tests throw
@@ -203,6 +253,7 @@ func New(cfg Config) (*Service, error) {
 		reg:        reg,
 		heavy:      newAdmitter("heavy", cfg.HeavySlots, cfg.HeavyQueue, 50*time.Millisecond, reg),
 		light:      newAdmitter("light", cfg.LightSlots, cfg.LightQueue, 2*time.Millisecond, reg),
+		stream:     newAdmitter("stream", cfg.StreamSlots, cfg.StreamQueue, 2*time.Second, reg),
 		cache:      newLRUCache(cfg.CacheEntries),
 		group:      newFlightGroup(),
 		baseCtx:    baseCtx,
@@ -220,6 +271,7 @@ func New(cfg Config) (*Service, error) {
 		mDrainShed: reg.Counter("service.drain_shed"),
 		latHeavy:   reg.Histogram("service.latency_heavy_seconds", latencyBounds),
 		latLight:   reg.Histogram("service.latency_light_seconds", latencyBounds),
+		latStream:  reg.Histogram("service.latency_stream_seconds", latencyBounds),
 	}
 	return s, nil
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -791,4 +792,93 @@ func TestAdmitterEWMAAndRetryAfter(t *testing.T) {
 		t.Fatalf("feasible admit failed: %v", apiErr)
 	}
 	release()
+}
+
+// TestAnalyzeStreamLane proves the out-of-core analyze lane: with the
+// stream threshold dropped to one byte every upload streams through
+// the disk spool under a tiny memory budget (so spilling actually
+// engages), the answer is bit-identical to the in-core pipeline's,
+// and the two lanes share the same cache key.
+func TestAnalyzeStreamLane(t *testing.T) {
+	svc, ts := newTestService(t, func(c *Config) {
+		c.StreamThresholdBytes = 1
+		c.StreamMemBudget = 1 // force every phase matrix to spill
+	})
+	data := tracefileBytes(t, "cg", 4)
+
+	resp := postBytes(t, ts.URL+"/v1/analyze", data, nil)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("streamed analyze: %d %q", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get(AnalyzeModeHeader); got != "stream" {
+		t.Fatalf("%s = %q, want stream", AnalyzeModeHeader, got)
+	}
+	if got := resp.Header.Get(CacheHeader); got != "miss" {
+		t.Fatalf("first streamed analyze X-Cache = %q, want miss", got)
+	}
+	var streamed AnalyzeResponse
+	decodeInto(t, resp, &streamed)
+
+	// In-core reference from a service with streaming disabled.
+	_, ref := newTestService(t, func(c *Config) { c.StreamThresholdBytes = -1 })
+	resp = postBytes(t, ref.URL+"/v1/analyze", data, nil)
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("in-core analyze: %d %q", resp.StatusCode, b)
+	}
+	if got := resp.Header.Get(AnalyzeModeHeader); got != "in-core" {
+		t.Fatalf("%s = %q, want in-core", AnalyzeModeHeader, got)
+	}
+	var incore AnalyzeResponse
+	decodeInto(t, resp, &incore)
+	if !reflect.DeepEqual(streamed, incore) {
+		t.Fatalf("streamed answer differs from in-core:\n  stream: %+v\n  incore: %+v", streamed, incore)
+	}
+
+	// Same trace again: served from the cache entry the stream lane
+	// populated, and the stream admission class accounted both.
+	resp = postBytes(t, ts.URL+"/v1/analyze", data, nil)
+	if got := resp.Header.Get(CacheHeader); got != "hit" {
+		t.Fatalf("second streamed analyze X-Cache = %q, want hit", got)
+	}
+	resp.Body.Close()
+	if got := svc.reg.Counter("service.stream.admitted").Value(); got != 2 {
+		t.Fatalf("stream.admitted = %d, want 2", got)
+	}
+	if got := svc.reg.Counter("service.heavy.admitted").Value(); got != 0 {
+		t.Fatalf("heavy.admitted = %d, want 0 (analyze went to the stream class)", got)
+	}
+}
+
+// TestAnalyzeStreamLaneErrors pins the stream lane's failure taxonomy:
+// corruption deep in a spooled v2 body is a typed corrupt_trace, and a
+// non-v2 body over the in-core cap is a typed 413 (it cannot be
+// random-accessed, so falling back in-core would be the heap risk the
+// lane exists to avoid).
+func TestAnalyzeStreamLaneErrors(t *testing.T) {
+	_, ts := newTestService(t, func(c *Config) {
+		c.StreamThresholdBytes = 1
+		c.MaxBodyBytes = 1 << 10
+		c.StreamBodyBytes = 1 << 20
+	})
+	data := tracefileBytes(t, "cg", 4)
+
+	// Flip one byte in the middle of the body: the per-block CRC fails
+	// during the streamed read.
+	bad := append([]byte(nil), data...)
+	bad[len(bad)/2] ^= 0x40
+	resp := postBytes(t, ts.URL+"/v1/analyze", bad, nil)
+	wantTyped(t, resp, http.StatusUnprocessableEntity, CodeCorruptTrace)
+
+	// Non-v2 garbage above MaxBodyBytes but under StreamBodyBytes: the
+	// spool cannot fall back in-core, typed 413.
+	junk := bytes.Repeat([]byte("j"), 4<<10)
+	resp = postBytes(t, ts.URL+"/v1/analyze", junk, nil)
+	wantTyped(t, resp, http.StatusRequestEntityTooLarge, CodeBodyTooLarge)
+
+	// Non-v2 garbage under MaxBodyBytes falls back in-core and fails
+	// trace decoding, typed.
+	resp = postBytes(t, ts.URL+"/v1/analyze", []byte("small junk"), nil)
+	wantTyped(t, resp, http.StatusUnprocessableEntity, CodeCorruptTrace)
 }

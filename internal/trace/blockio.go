@@ -717,9 +717,27 @@ type BlockReader struct {
 	next       uint64
 	buf        []byte
 	scratch    []Event
+	sc         *brScratch // pooled backing for buf/scratch; nil after Close
 	m          *codecMetrics
 	finished   bool
+	// ra and bodyOff enable RankStreams: the source, when it supports
+	// random access, and the byte offset of the first event block.
+	ra      io.ReaderAt
+	bodyOff int64
 }
+
+// brScratch is a BlockReader's pooled working set: the block byte
+// buffer and the decoded-event scratch slice. Readers that are Closed
+// return it for reuse; readers that are simply dropped leave it to the
+// GC (Get without Put is safe).
+type brScratch struct {
+	buf []byte
+	evs []Event
+}
+
+var brScratchPool = sync.Pool{New: func() any {
+	return &brScratch{buf: make([]byte, 0, blockBytes+4)}
+}}
 
 // NewBlockReader reads the tracefile prefix (magic, header, name and,
 // for v2, the header checksum) and positions the stream at the first
@@ -765,13 +783,39 @@ func NewBlockReaderWith(r io.Reader, opts CodecOptions) (*BlockReader, error) {
 			return nil, corruptf(cr.off, "header checksum mismatch (stored %08x, computed %08x)", got, wantH)
 		}
 	}
+	sc := brScratchPool.Get().(*brScratch)
+	ra, _ := r.(io.ReaderAt)
 	return &BlockReader{
-		cr:   cr,
-		meta: Meta{AppName: string(name), Procs: procs, Events: count, AET: aet},
-		v1:   v1,
-		buf:  make([]byte, 0, blockBytes+4),
-		m:    newCodecMetrics(opts.Reg, "decode", 1),
+		cr:      cr,
+		meta:    Meta{AppName: string(name), Procs: procs, Events: count, AET: aet},
+		v1:      v1,
+		sc:      sc,
+		buf:     sc.buf[:0],
+		scratch: sc.evs,
+		m:       newCodecMetrics(opts.Reg, "decode", 1),
+		ra:      ra,
+		bodyOff: cr.off,
 	}, nil
+}
+
+// Close releases the reader's pooled buffers and marks the stream
+// finished: subsequent Next calls return io.EOF without reading.
+// Event slices previously returned by Next must not be used after
+// Close. Close is idempotent, never fails, and does not close the
+// underlying reader (the caller owns it). Readers that are read to
+// io.EOF and then dropped without Close are also fine — their buffers
+// simply fall to the GC instead of the pool.
+func (br *BlockReader) Close() error {
+	if br.sc != nil {
+		br.sc.buf = br.buf[:0]
+		br.sc.evs = br.scratch
+		brScratchPool.Put(br.sc)
+		br.sc = nil
+	}
+	br.buf = nil
+	br.scratch = nil
+	br.finished = true
+	return nil
 }
 
 // Meta returns the tracefile's header.

@@ -88,6 +88,28 @@ func FileCRC(data []byte) (uint32, bool) {
 	return binary.LittleEndian.Uint32(data[len(data)-4:]), true
 }
 
+// FileCRCAt is FileCRC for a random-access source of known size (a
+// spooled upload, an mmap'd artefact): it reads the 8-byte magic and
+// the 12-byte trailer without touching the body, so the identity of an
+// arbitrarily large tracefile costs two tiny reads.
+func FileCRCAt(ra io.ReaderAt, size int64) (uint32, bool) {
+	if size < int64(len(magicV2)+len(trailer)+4) {
+		return 0, false
+	}
+	var head [8]byte
+	if _, err := ra.ReadAt(head[:], 0); err != nil || head != magicV2 {
+		return 0, false
+	}
+	var tail [12]byte
+	if _, err := ra.ReadAt(tail[:], size-12); err != nil {
+		return 0, false
+	}
+	if [8]byte(tail[:8]) != trailer {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(tail[8:]), true
+}
+
 // EncodedSize returns the exact tracefile size in bytes for a trace
 // in the current (v2) format.
 func EncodedSize(t *Trace) int64 {

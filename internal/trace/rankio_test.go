@@ -1,0 +1,337 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pas2p/internal/vtime"
+)
+
+// unevenTrace builds a valid proc-grouped trace where process p owns
+// counts[p] events, exercising section boundaries that do not align
+// with block boundaries (including empty sections).
+func unevenTrace(t *testing.T, counts []int) *Trace {
+	t.Helper()
+	streams := make([][]Event, len(counts))
+	for p, n := range counts {
+		rec := NewRecorder(p)
+		var tphys vtime.Time
+		for i := 0; i < n; i++ {
+			tphys += vtime.Time(100 + i%37)
+			rec.Record(Event{
+				Kind: Collective, Involved: int32(len(counts)), CollOp: 1,
+				Peer: -1, Tag: 0, Size: int64(64 + i%128),
+				Enter: tphys, Exit: tphys + 50,
+				RelA: 0, RelB: int64(i),
+			})
+		}
+		streams[p] = rec.Events()
+	}
+	tr, err := NewTrace("uneven", len(counts), streams, 12345)
+	if err != nil {
+		t.Fatalf("building uneven trace: %v", err)
+	}
+	return tr
+}
+
+func rankStreamsFor(t *testing.T, tr *Trace) (*RankStreams, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := br.RankStreams()
+	if err != nil {
+		t.Fatalf("rank streams: %v", err)
+	}
+	return rs, buf.Bytes()
+}
+
+// TestRankStreamsMatchPerProcess is the core property: for every
+// process, the rank cursor yields exactly the events PerProcess slices
+// out of a full decode, across section shapes that cover empty
+// sections, sub-block sections, exact block multiples, and sections
+// straddling many blocks.
+func TestRankStreamsMatchPerProcess(t *testing.T) {
+	shapes := [][]int{
+		{1},
+		{0, 5, 0},
+		{3, 700, 3},                       // middle section spans blocks
+		{blockEvents, blockEvents},        // sections on exact block boundaries
+		{blockEvents - 1, 1, blockEvents}, // off-by-one around the boundary
+		{100, 0, 2000, 1, 0, 731},
+	}
+	for _, counts := range shapes {
+		tr := unevenTrace(t, counts)
+		rs, _ := rankStreamsFor(t, tr)
+		per := tr.PerProcess()
+		for p := 0; p < tr.Procs; p++ {
+			if got := rs.Count(p); got != uint64(len(per[p])) {
+				t.Fatalf("counts %v: Count(%d) = %d, want %d", counts, p, got, len(per[p]))
+			}
+			var got []Event
+			var e Event
+			for {
+				ok, err := rs.NextEvent(p, &e)
+				if err != nil {
+					t.Fatalf("counts %v proc %d: %v", counts, p, err)
+				}
+				if !ok {
+					break
+				}
+				got = append(got, e)
+			}
+			if !reflect.DeepEqual(got, append([]Event(nil), per[p]...)) {
+				t.Fatalf("counts %v: proc %d stream diverges from PerProcess", counts, p)
+			}
+			// Exhausted cursors stay exhausted.
+			if ok, err := rs.NextEvent(p, &e); ok || err != nil {
+				t.Fatalf("counts %v proc %d: NextEvent after end = %v, %v", counts, p, ok, err)
+			}
+		}
+	}
+}
+
+// TestRankStreamsFuzzTraces runs the same property over the seeded
+// random traces the codec tests use (all three event kinds, multiple
+// blocks per section).
+func TestRankStreamsFuzzTraces(t *testing.T) {
+	for _, s := range []struct {
+		seed   int64
+		procs  int
+		events int
+	}{
+		{101, 2, 600},
+		{102, 5, 1111},
+		{103, 8, 64},
+	} {
+		tr := fuzzTrace(t, s.seed, s.procs, s.events)
+		rs, _ := rankStreamsFor(t, tr)
+		per := tr.PerProcess()
+		for p := 0; p < tr.Procs; p++ {
+			c := rs.Cursor(p)
+			if c.Remaining() != uint64(len(per[p])) {
+				t.Fatalf("shape %+v: proc %d Remaining = %d, want %d", s, p, c.Remaining(), len(per[p]))
+			}
+			for i := range per[p] {
+				var e Event
+				ok, err := c.Next(&e)
+				if err != nil || !ok {
+					t.Fatalf("shape %+v proc %d event %d: ok=%v err=%v", s, p, i, ok, err)
+				}
+				if e != per[p][i] {
+					t.Fatalf("shape %+v proc %d event %d diverges", s, p, i)
+				}
+			}
+		}
+	}
+}
+
+// TestRankStreamsDetectCorruption: a bit flip inside a block must be
+// caught by the cursor that touches the block, with the standard
+// checksum-mismatch error, even though the bound probes that located
+// the sections did not verify it.
+func TestRankStreamsDetectCorruption(t *testing.T) {
+	tr := unevenTrace(t, []int{600, 600})
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	raw := append([]byte(nil), buf.Bytes()...)
+	headerEnd := 8 + 24 + len(tr.AppName) + 4
+	raw[headerEnd+10] ^= 0x40 // first block, proc 0's section
+
+	br, err := NewBlockReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := br.RankStreams()
+	if err != nil {
+		t.Fatalf("rank streams over corrupt block: construction should defer detection, got %v", err)
+	}
+	var e Event
+	_, err = rs.NextEvent(0, &e)
+	if err == nil || !strings.Contains(err.Error(), "checksum mismatch") {
+		t.Fatalf("corrupt block read error = %v, want checksum mismatch", err)
+	}
+	// The undamaged section still reads cleanly.
+	if ok, err := rs.NextEvent(1, &e); !ok || err != nil {
+		t.Fatalf("clean section after corruption elsewhere: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestRankStreamsTruncatedFile: a file cut before the trailer is
+// rejected at construction (the trailer magic lives at a computable
+// offset).
+func TestRankStreamsTruncatedFile(t *testing.T) {
+	tr := unevenTrace(t, []int{100, 100})
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-15]
+	br, err := NewBlockReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.RankStreams(); err == nil || !strings.Contains(err.Error(), "trailer") {
+		t.Fatalf("truncated file: RankStreams err = %v, want trailer error", err)
+	}
+}
+
+// TestRankStreamsRequirements: v1 files and non-random-access sources
+// are refused with explicit errors.
+func TestRankStreamsRequirements(t *testing.T) {
+	tr := unevenTrace(t, []int{10})
+	var v1buf bytes.Buffer
+	if err := encodeV1(&v1buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBlockReader(bytes.NewReader(v1buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.RankStreams(); err == nil || !strings.Contains(err.Error(), "v2") {
+		t.Fatalf("v1 RankStreams err = %v, want v2 requirement", err)
+	}
+
+	var v2buf bytes.Buffer
+	if err := Encode(&v2buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	// A bare io.Reader (no ReadAt) cannot back rank streams.
+	br2, err := NewBlockReader(struct{ io.Reader }{bytes.NewReader(v2buf.Bytes())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br2.RankStreams(); err == nil || !strings.Contains(err.Error(), "random-access") {
+		t.Fatalf("sequential-source RankStreams err = %v, want random-access requirement", err)
+	}
+}
+
+// TestRankStreamsUngroupedFile: BlockWriter does not validate process
+// grouping, so a file with interleaved processes can exist on disk;
+// the per-record section check must refuse it rather than hand back
+// another process's events.
+func TestRankStreamsUngroupedFile(t *testing.T) {
+	const n = 40
+	evs := make([]Event, n)
+	var tphys vtime.Time
+	for i := range evs {
+		tphys += 100
+		evs[i] = Event{
+			Process: int32(i % 2), Number: int64(i / 2),
+			Kind: Collective, Involved: 2, CollOp: 1, Peer: -1,
+			Enter: tphys, Exit: tphys + 10, RelA: 0, RelB: int64(i / 2),
+		}
+	}
+	var buf bytes.Buffer
+	bw, err := NewBlockWriter(&buf, Meta{AppName: "interleaved", Procs: 2, Events: n}, CodecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Append(evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := br.RankStreams()
+	if err != nil {
+		// Acceptable: detected already at bound recovery.
+		return
+	}
+	var e Event
+	for p := 0; p < 2; p++ {
+		for {
+			ok, err := rs.NextEvent(p, &e)
+			if err != nil {
+				if !strings.Contains(err.Error(), "not grouped") {
+					t.Fatalf("ungrouped file error = %v, want grouping complaint", err)
+				}
+				return
+			}
+			if !ok {
+				break
+			}
+		}
+	}
+	t.Fatal("ungrouped file streamed without complaint")
+}
+
+// TestBlockReaderClose: Close mid-stream releases the reader and
+// subsequent Next calls return io.EOF; Close is idempotent and also
+// fine after natural EOF.
+func TestBlockReaderClose(t *testing.T) {
+	tr := unevenTrace(t, []int{900, 900}) // several blocks
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+
+	br, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.Next(); err != nil {
+		t.Fatalf("first block: %v", err)
+	}
+	if err := br.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := br.Next(); err != io.EOF {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+	if err := br.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+
+	// Close after reading to EOF.
+	br2, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := br2.Next(); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := br2.Close(); err != nil {
+		t.Fatalf("close after EOF: %v", err)
+	}
+
+	// A closed-then-reopened reader still decodes correctly (pool reuse
+	// must not leak state between readers).
+	br3, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for {
+		blk, err := br3.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(blk)
+	}
+	if total != len(tr.Events) {
+		t.Fatalf("reopened reader yielded %d events, want %d", total, len(tr.Events))
+	}
+	br3.Close()
+}

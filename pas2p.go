@@ -298,6 +298,68 @@ func AnalyzeCtx(ctx context.Context, tr *Trace, cfg PhaseConfig, warmOccurrence 
 	return an, tb, nil
 }
 
+// Out-of-core analysis. AnalyzeStream is stage A over a tracefile that
+// never fits in memory: per-rank streams off the v2 format feed a
+// bounded k-way merge that emits the logical order tick by tick, phase
+// extraction ingests ticks as they arrive, and representative phase
+// matrices spill to CRC-checked files under a memory budget. The
+// resulting phase set, occurrence lists and phase table are
+// bit-identical to Analyze on the decoded trace.
+type (
+	// StreamAnalysis is an out-of-core analysis result: the phase
+	// analysis (with Logical nil — the trace was never materialised),
+	// the phase table, and spill statistics. Call Close when done to
+	// delete the spill files; MaterializeCells loads every phase's
+	// behaviour matrix back in-core if needed.
+	StreamAnalysis = phase.StreamResult
+	// StreamStats reports what the out-of-core machinery did.
+	StreamStats = phase.StreamStats
+)
+
+// AnalyzeStreamOptions tunes the out-of-core pipeline's memory policy.
+type AnalyzeStreamOptions struct {
+	// MemBudgetBytes caps the resident bytes of representative phase
+	// matrices; beyond it cold matrices spill to SpillDir and reload on
+	// demand. 0 keeps everything in memory.
+	MemBudgetBytes int64
+	// SpillDir hosts the spill files; required when MemBudgetBytes > 0,
+	// created if missing.
+	SpillDir string
+}
+
+// AnalyzeStream runs stage A over an open tracefile without decoding
+// it into memory: the reader's source must be random-access (a file or
+// byte slice) and in the v2 format. Memory stays O(window + budget)
+// regardless of trace length. The context is checked throughout the
+// tick loop; a cancelled analysis returns ctx.Err().
+func AnalyzeStream(ctx context.Context, r *TraceBlockReader, cfg PhaseConfig, warmOccurrence int, opts AnalyzeStreamOptions) (*StreamAnalysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sp := cfg.Observer.StartSpan("analyze.stream")
+	defer sp.End()
+	rs, err := r.RankStreams()
+	if err != nil {
+		return nil, err
+	}
+	tick, err := logical.StreamOrder(rs)
+	if err != nil {
+		return nil, err
+	}
+	res, err := phase.ExtractStreamTable(ctx, tick, tick.Meta(), warmOccurrence, phase.StreamConfig{
+		Config:         cfg,
+		MemBudgetBytes: opts.MemBudgetBytes,
+		SpillDir:       opts.SpillDir,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sp.SetCounter("events", int64(rs.Meta().Events))
+	sp.SetCounter("ticks", int64(res.Stats.Ticks))
+	sp.SetCounter("spilled_phases", int64(res.Stats.SpilledPhases))
+	return res, nil
+}
+
 // AnalyzeAll runs Analyze over several traces concurrently on a
 // bounded worker pool (workers <= 0 selects GOMAXPROCS). Results come
 // back in input order regardless of completion order; phase extraction
